@@ -1,0 +1,21 @@
+"""A3 — ablation: DMA versus CPU-driven data movement.
+
+The paper: "utilizing DMA with bulk data transfer achieves significant
+improvement over CPU-based data transfer."  Disabling the DMA engine
+must cost both time and energy.
+"""
+
+from repro.experiments import render_dma_ablation, run_dma_ablation
+
+from benchmarks.conftest import run_once
+
+
+def test_ablation_dma(benchmark):
+    rows = run_once(benchmark, run_dma_ablation)
+    print()
+    print(render_dma_ablation(rows))
+    for task, row in rows.items():
+        assert row.time_saving > 1.05, f"{task}: DMA must be faster"
+        assert row.energy_saving > 1.05, f"{task}: DMA must be cheaper"
+        benchmark.extra_info[f"{task}_time_saving"] = round(row.time_saving, 2)
+        benchmark.extra_info[f"{task}_energy_saving"] = round(row.energy_saving, 2)

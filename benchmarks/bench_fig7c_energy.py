@@ -1,0 +1,42 @@
+"""F7c — Figure 7(c): per-component energy breakdown.
+
+Checks the paper's energy claims: ACE+FLEX saves 6.1x/10.9x/6.25x vs
+SONIC and 4.31x/5.26x/3.05x vs TAILS (we assert generous bands around the
+orderings), and the LEA/DMA path shifts energy off the CPU.
+"""
+
+from repro.experiments import (
+    PAPER_FIG7C_SAVINGS,
+    TASKS,
+    render_fig7c,
+    run_fig7,
+)
+
+from benchmarks.conftest import run_once
+
+
+def test_fig7c_energy_breakdown(benchmark):
+    results = run_once(
+        benchmark,
+        lambda: {t: run_fig7(t, intermittent=False) for t in TASKS},
+    )
+    print()
+    print(render_fig7c(results))
+    for task, res in results.items():
+        cont = res.continuous
+        flex_e = cont["ACE+FLEX"].energy_j
+        sonic_saving = cont["SONIC"].energy_j / flex_e
+        tails_saving = cont["TAILS"].energy_j / flex_e
+        assert 4.0 <= sonic_saving <= 14.0
+        assert 1.3 <= tails_saving <= 6.0
+        benchmark.extra_info[f"{task}_sonic_saving"] = round(sonic_saving, 2)
+        benchmark.extra_info[f"{task}_tails_saving"] = round(tails_saving, 2)
+        benchmark.extra_info[f"{task}_paper"] = PAPER_FIG7C_SAVINGS[task]
+        # The accelerated runtimes move energy off the CPU.
+        assert (
+            cont["ACE+FLEX"].energy_by_component.get("cpu", 0.0)
+            < cont["SONIC"].energy_by_component.get("cpu", 0.0)
+        )
+        # LEA energy exists only for LEA-capable runtimes.
+        assert cont["BASE"].energy_by_component.get("lea", 0.0) == 0.0
+        assert cont["ACE+FLEX"].energy_by_component.get("lea", 0.0) > 0.0

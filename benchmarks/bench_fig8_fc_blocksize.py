@@ -1,0 +1,29 @@
+"""F8 — Figure 8: latency and energy of MNIST's FC1 vs BCM block size.
+
+The paper's trend: larger blocks give monotonically lower latency and
+energy ("improve the performance of FC layers by tens of times").
+"""
+
+from repro.experiments import render_fig8, run_fig8
+
+from benchmarks.conftest import run_once
+
+
+def test_fig8_fc_blocksize(benchmark):
+    points = run_once(benchmark, run_fig8)
+    print()
+    print(render_fig8(points))
+    latencies = [points[b].latency_s for b in (None, 32, 64, 128)]
+    energies = [points[b].energy_j for b in (None, 32, 64, 128)]
+    assert latencies == sorted(latencies, reverse=True)
+    assert energies == sorted(energies, reverse=True)
+    # "tens of times" for the largest block vs dense:
+    speedup_128 = points[None].latency_s / points[128].latency_s
+    assert speedup_128 > 8.0
+    for block in (32, 64, 128):
+        benchmark.extra_info[f"block{block}_speedup"] = round(
+            points[None].latency_s / points[block].latency_s, 1
+        )
+        benchmark.extra_info[f"block{block}_energy_saving"] = round(
+            points[None].energy_j / points[block].energy_j, 1
+        )

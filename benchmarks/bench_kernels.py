@@ -1,0 +1,58 @@
+"""Microbenchmarks of the numeric kernels (host-side throughput).
+
+These measure the simulator's own Python/numpy performance (they are what
+bounds experiment wall time), not the modelled device costs.  Useful for
+catching performance regressions in the fixed-point kernels.
+"""
+
+import numpy as np
+
+from repro.bcm import bcm_matvec
+from repro.fixedpoint import float_to_q15, q15_fft, q15_ifft
+from repro.nn import BCMDense, Conv2D
+from repro.rad.quantize import quantize_model
+from repro.nn.model import Sequential
+
+
+def test_kernel_q15_fft_256(benchmark):
+    rng = np.random.default_rng(0)
+    re = float_to_q15(rng.uniform(-0.9, 0.9, (16, 256)))
+    im = np.zeros_like(re)
+    benchmark(lambda: q15_fft(re, im))
+
+
+def test_kernel_q15_ifft_256(benchmark):
+    rng = np.random.default_rng(1)
+    re = float_to_q15(rng.uniform(-0.5, 0.5, (16, 256)))
+    im = float_to_q15(rng.uniform(-0.5, 0.5, (16, 256)))
+    benchmark(lambda: q15_ifft(re, im))
+
+
+def test_kernel_bcm_matvec(benchmark):
+    rng = np.random.default_rng(2)
+    w = rng.normal(size=(4, 28, 128))
+    x = rng.normal(size=(32, 28 * 128))
+    benchmark(lambda: bcm_matvec(w, x))
+
+
+def test_kernel_float_conv_forward(benchmark):
+    rng = np.random.default_rng(3)
+    conv = Conv2D(6, 16, 5, rng=rng)
+    x = rng.normal(size=(8, 6, 12, 12))
+    benchmark(lambda: conv.forward(x))
+
+
+def test_kernel_bcm_dense_forward(benchmark):
+    rng = np.random.default_rng(4)
+    layer = BCMDense(3456, 512, 256, rng=rng)
+    x = rng.normal(size=(8, 3456))
+    benchmark(lambda: layer.forward(x))
+
+
+def test_kernel_quantized_bcm_forward(benchmark):
+    rng = np.random.default_rng(5)
+    model = Sequential([BCMDense(256, 256, 128, rng=rng)])
+    calib = rng.uniform(-0.9, 0.9, (16, 256))
+    qm = quantize_model(model, (256,), calib)
+    x = rng.uniform(-0.9, 0.9, (16, 256))
+    benchmark(lambda: qm.forward_raw(x))

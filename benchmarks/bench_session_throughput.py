@@ -1,0 +1,46 @@
+"""Extension — deployment-level throughput: a sensing session streaming
+inferences through each intermittence-safe runtime on the harvested
+supply.
+
+Not a paper figure, but the deployment quantity the paper's speedups
+imply: inferences per second of wall-clock (charging included).
+"""
+
+from repro.experiments import make_dataset, paper_harvester, prepare_quantized
+from repro.flex import FlexRuntime
+from repro.baselines import SonicRuntime, TailsRuntime
+from repro.hw.board import msp430fr5994
+from repro.power import VoltageMonitor
+from repro.sim.session import SensingSession
+
+from benchmarks.conftest import run_once
+
+
+def _session_stats(runtime_cls, qmodel, x):
+    harvester = paper_harvester()
+    device = msp430fr5994(supply=harvester)
+    runtime = runtime_cls(qmodel)
+    monitor = VoltageMonitor(harvester) if runtime.snapshot_on_warning else None
+    return SensingSession(device, runtime, monitor=monitor).run(x)
+
+
+def test_session_throughput(benchmark):
+    qmodel = prepare_quantized("mnist", seed=0)
+    x = make_dataset("mnist", 16, seed=1).x[:5]
+
+    def run():
+        return {
+            cls.name: _session_stats(cls, qmodel, x)
+            for cls in (SonicRuntime, TailsRuntime, FlexRuntime)
+        }
+
+    stats = run_once(benchmark, run)
+    print()
+    for name, s in stats.items():
+        print(s.summary())
+    flex = stats["ACE+FLEX"]
+    assert flex.completed == 5
+    assert flex.throughput_hz > stats["SONIC"].throughput_hz
+    assert flex.throughput_hz > stats["TAILS"].throughput_hz
+    for name, s in stats.items():
+        benchmark.extra_info[f"{name}_throughput_hz"] = round(s.throughput_hz, 3)

@@ -1,0 +1,23 @@
+"""T2 — Table II: train + compress the three models, report accuracy.
+
+Uses the FAST profile (smaller synthetic datasets / fewer epochs) so the
+benchmark completes in tens of seconds; EXPERIMENTS.md records a FULL run.
+"""
+
+from repro.experiments import FAST, render_table2, run_table2
+
+from benchmarks.conftest import run_once
+
+
+def test_table2_models(benchmark):
+    rows = run_once(benchmark, lambda: run_table2(FAST))
+    print()
+    print(render_table2(rows))
+    for task, row in rows.items():
+        # Compression + quantization must retain useful accuracy.
+        assert row.quantized_accuracy > 0.5
+        assert row.quantized_accuracy >= row.float_accuracy - 0.15
+        benchmark.extra_info[f"{task}_quantized_acc"] = round(
+            row.quantized_accuracy, 4
+        )
+        benchmark.extra_info[f"{task}_paper_acc"] = row.paper_accuracy

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Resource-aware architecture search (RAD's first stage).
+
+Enumerates BCM block-size configurations for the OKG keyword-spotting
+backbone, filters them against the MSP430FR5994's memory budget, ranks
+the survivors by proxy-training accuracy with a latency penalty, and
+deploys the winner.
+
+Run:  python examples/architecture_search.py
+"""
+
+import numpy as np
+
+from repro.datasets import make_okg
+from repro.experiments import run_inference
+from repro.rad import DeviceBudget
+from repro.rad.search import enumerate_block_candidates, search
+from repro.rad.zoo import INPUT_SHAPES, build_model
+from repro.rad.quantize import quantize_model
+
+
+def main() -> None:
+    ds = make_okg(480, seed=4)
+    budget = DeviceBudget()
+    candidates = enumerate_block_candidates("okg")
+    print(f"search space: {len(candidates)} block-size configurations "
+          f"for the OKG backbone\n")
+
+    result = search(
+        "okg", ds,
+        candidates=candidates,
+        budget=budget,
+        proxy_samples=240,
+        proxy_epochs=2,
+        seed=4,
+    )
+
+    print(f"{'candidate':>24} | {'FRAM (KB)':>9} | {'MACs':>9} | "
+          f"{'feasible':>8} | {'proxy acc':>9} | score")
+    for record in sorted(result.results, key=lambda r: -r.score):
+        cand = record.candidate
+        name = str(cand.bcm_blocks)
+        acc = (f"{record.proxy_accuracy:.1%}"
+               if np.isfinite(record.score) else "-")
+        score = f"{record.score:.3f}" if np.isfinite(record.score) else "-"
+        print(f"{name:>24} | {record.resources.fram_bytes / 1024:>9.1f} | "
+              f"{record.resources.macs:>9d} | {str(record.feasible):>8} | "
+              f"{acc:>9} | {score}")
+
+    best = result.best
+    print(f"\nwinner: blocks={best.candidate.bcm_blocks} "
+          f"(proxy accuracy {best.proxy_accuracy:.1%})")
+
+    # Deploy the winner and measure one on-device inference.
+    model = build_model("okg", best.candidate.bcm_blocks,
+                        rng=np.random.default_rng(4))
+    qmodel = quantize_model(model, INPUT_SHAPES["okg"], ds.x[:16], name="okg")
+    run = run_inference("ACE+FLEX", qmodel, ds.x[0])
+    print(f"deployed: {run.wall_time_s * 1e3:.1f} ms, "
+          f"{run.energy_j * 1e3:.3f} mJ per inference, "
+          f"{qmodel.weight_bytes} B of weights")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Deployment planning: size the energy supply before building hardware.
+
+Uses the static planner to answer, per runtime, the questions a deployment
+engineer asks before soldering anything:
+
+* how much energy does one inference cost?
+* what capacitor keeps the runtime out of livelock?
+* what average harvest sustains a target inference rate?
+
+Then validates one prediction against the simulator: plain ACE on the
+planner's minimum capacitor completes, and fails on half of it.
+
+Run:  python examples/deployment_planning.py
+"""
+
+from repro.experiments import (
+    make_dataset,
+    plan_deployment,
+    prepare_quantized,
+    run_inference,
+)
+from repro.power import Capacitor, EnergyHarvester, SquareWaveTrace
+
+
+def main() -> None:
+    qmodel = prepare_quantized("mnist", seed=0)
+    print(f"model: {qmodel.name}, {qmodel.weight_bytes} B of weights\n")
+
+    print(f"{'runtime':>9} | {'mJ/inf':>7} | {'active':>8} | "
+          f"{'min cap':>9} | {'mW @1Hz':>8} | max Hz @1.5mW")
+    for name in ("BASE", "SONIC", "TAILS", "ACE", "ACE+FLEX"):
+        plan = plan_deployment(qmodel, name)
+        checkpointing = name in ("SONIC", "TAILS", "ACE+FLEX")
+        cap_uf = plan.min_capacitance_f(checkpointing=checkpointing) * 1e6
+        print(f"{name:>9} | {plan.energy_per_inference_j * 1e3:7.3f} | "
+              f"{plan.active_time_s * 1e3:6.1f}ms | "
+              f"{cap_uf:7.1f}uF | "
+              f"{plan.min_harvest_power_w(1.0) * 1e3:8.2f} | "
+              f"{plan.max_inference_rate_hz(1.5e-3):.2f}")
+
+    print("\nCheckpointing runtimes only need to bridge their largest "
+          "atomic step;\ncheckpoint-free runtimes must fund the whole "
+          "inference from one charge.")
+
+    # Validate the ACE prediction against the simulator.
+    plan = plan_deployment(qmodel, "ACE")
+    cap_f = plan.min_capacitance_f(checkpointing=False)
+    x = make_dataset("mnist", 16, seed=0).x[0]
+    print(f"\nvalidation: plain ACE needs >= {cap_f * 1e6:.0f} uF "
+          f"(one-charge inference)")
+    for factor, label in ((1.3, "130% of plan"), (0.5, "50% of plan")):
+        harvester = EnergyHarvester(
+            SquareWaveTrace(5e-3, 0.05, 0.3), Capacitor(cap_f * factor)
+        )
+        r = run_inference("ACE", qmodel, x, harvester=harvester)
+        verdict = "completed" if r.completed else f"DNF ({r.dnf_reason})"
+        print(f"  {label:>13}: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Overflow-aware scaling bookkeeping (ACE Algorithm 1).
+
+The printed algorithm scales inputs and weights down by their lengths
+before the FFT and scales the result back up afterwards.  On real LEA
+firmware the equivalent (and more precise) mechanism is:
+
+* the *scaled* FFT shifts right one bit per stage, dividing by N overall;
+* block exponents (``BEXP``) track where the binary point sits, so the
+  "scale up" is exponent arithmetic rather than a lossy multiply;
+* a renormalization before the IFFT shifts the accumulated spectrum into
+  the int16 headroom so the inverse transform keeps precision.
+
+The raw-value algebra implemented by
+:class:`repro.rad.quantize.QuantBCM.forward` is::
+
+    x_raw   = x_float * 2**in_frac
+    fx_raw  = FFT(x_raw) * 2**-fft_scale          (scaled FFT)
+    w_raw   = FFT(w_float) * 2**(15 - w_exp)      (stored spectrum)
+    pr_raw  = fx_raw * w_raw * 2**-15             (Q15 complex multiply)
+    acc_raw = sum_q pr_raw * 2**(h - s_q)         (q-sum + BEXP headroom h)
+    b_raw   = IFFT(acc_raw) * 2**-ifft_scale
+    out_raw = b_raw * 2**(out_frac - in_frac + fft_scale + w_exp
+                          + s_q + ifft_scale - h)
+
+This module provides the scale calculators used by that kernel and by the
+execution planner (the shift amounts are real device work: one LEA SHIFT
+command per vector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BCMScalePlan:
+    """Static scale parameters of one BCM layer execution."""
+
+    block_size: int
+    q_blocks: int
+    fft_scale: int  # log2(block) for the scaled FFT
+    s_q: int  # right-shift protecting the q-block accumulation
+    w_exp: int  # stored-spectrum block exponent
+    in_frac: int
+    out_frac: int
+
+    @property
+    def static_up_shift(self) -> int:
+        """Left shift applied after the IFFT, before subtracting the
+        runtime BEXP headroom ``h`` (ifft_scale = 0 in stage mode)."""
+        return (
+            self.out_frac - self.in_frac + self.fft_scale + self.w_exp + self.s_q
+        )
+
+
+def accumulation_guard_bits(q_blocks: int) -> int:
+    """Right-shift needed so summing ``q_blocks`` Q15 products cannot
+    overflow int16 (ceil(log2 q))."""
+    if q_blocks < 1:
+        raise ConfigurationError("q_blocks must be >= 1")
+    return max(0, (q_blocks - 1).bit_length())
+
+
+def plan_for(block_size: int, q_blocks: int, w_exp: int,
+             in_frac: int, out_frac: int) -> BCMScalePlan:
+    """Build the scale plan for one BCM layer."""
+    if block_size < 2 or block_size & (block_size - 1):
+        raise ConfigurationError("block_size must be a power of two >= 2")
+    if not 0 <= in_frac <= 15 or not 0 <= out_frac <= 15:
+        raise ConfigurationError("fractional bit counts must be in [0, 15]")
+    return BCMScalePlan(
+        block_size=block_size,
+        q_blocks=q_blocks,
+        fft_scale=block_size.bit_length() - 1,
+        s_q=accumulation_guard_bits(q_blocks),
+        w_exp=w_exp,
+        in_frac=in_frac,
+        out_frac=out_frac,
+    )
+
+
+def algorithm1_prescale_shift(length: int) -> int:
+    """SCALE-DOWN of the printed Algorithm 1: divide by the vector length
+    (a right shift of log2(len) for power-of-two lengths)."""
+    if length < 2 or length & (length - 1):
+        raise ConfigurationError("length must be a power of two >= 2")
+    return length.bit_length() - 1

@@ -1,0 +1,8 @@
+"""The paper's comparison runtimes: BASE, SONIC, TAILS."""
+
+from repro.baselines.base import BaseRuntime
+from repro.baselines.cpu_plan import build_cpu_program
+from repro.baselines.sonic import SonicRuntime
+from repro.baselines.tails import TailsRuntime
+
+__all__ = ["BaseRuntime", "SonicRuntime", "TailsRuntime", "build_cpu_program"]

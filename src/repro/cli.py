@@ -1,0 +1,165 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Usage::
+
+    python -m repro table1
+    python -m repro table2 [--fast]
+    python -m repro fig7 [--task mnist|har|okg]
+    python -m repro fig8
+    python -m repro overhead
+    python -m repro ablations
+    python -m repro sweep [--axis capacitor|power|trace] [--task ...]
+    python -m repro all [--fast]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args) -> None:
+    from repro.experiments import render_table1
+
+    print(render_table1())
+
+
+def _cmd_table2(args) -> None:
+    from repro.experiments import FAST, FULL, render_table2, run_table2
+
+    profile = FAST if args.fast else FULL
+    print(render_table2(run_table2(profile)))
+
+
+def _cmd_fig7(args) -> None:
+    from repro.experiments import (
+        TASKS,
+        render_fig7a,
+        render_fig7b,
+        render_fig7c,
+        run_fig7,
+    )
+
+    tasks = [args.task] if args.task else list(TASKS)
+    results = {task: run_fig7(task) for task in tasks}
+    print(render_fig7a(results))
+    print()
+    print(render_fig7b(results))
+    print()
+    print(render_fig7c(results))
+
+
+def _cmd_fig8(args) -> None:
+    from repro.experiments import render_fig8, run_fig8
+
+    print(render_fig8(run_fig8()))
+
+
+def _cmd_overhead(args) -> None:
+    from repro.experiments import render_checkpoint_overhead, run_checkpoint_overhead
+
+    print(render_checkpoint_overhead(run_checkpoint_overhead()))
+
+
+def _cmd_ablations(args) -> None:
+    from repro.experiments import (
+        render_buffer_ablation,
+        render_dma_ablation,
+        render_overflow_ablation,
+        run_buffer_ablation,
+        run_dma_ablation,
+        run_overflow_ablation,
+    )
+
+    print(render_overflow_ablation(run_overflow_ablation("mnist")))
+    print()
+    print(render_buffer_ablation(run_buffer_ablation()))
+    print()
+    print(render_dma_ablation(run_dma_ablation()))
+
+
+def _cmd_sweep(args) -> None:
+    from repro.experiments.sweeps import (
+        capacitor_sweep,
+        power_sweep,
+        render_sweep,
+        trace_sweep,
+    )
+
+    task = args.task or "mnist"
+    if args.axis == "capacitor":
+        print(render_sweep(capacitor_sweep(task), "capacitance", " uF"))
+    elif args.axis == "power":
+        print(render_sweep(power_sweep(task), "harvest power", " mW"))
+    else:
+        cells = trace_sweep(task)
+        for label, cell in cells.items():
+            print(f"{label:>12}: {cell.render()}")
+
+
+def _cmd_all(args) -> None:
+    _cmd_table1(args)
+    print()
+    _cmd_table2(args)
+    print()
+    _cmd_fig7(argparse.Namespace(task=None))
+    print()
+    _cmd_fig8(args)
+    print()
+    _cmd_overhead(args)
+    print()
+    _cmd_ablations(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of 'Enabling Fast "
+                    "Deep Learning on Tiny Energy-Harvesting IoT Devices' "
+                    "(DATE 2022).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I: BCM storage reduction")
+
+    p2 = sub.add_parser("table2", help="Table II: model accuracy (trains!)")
+    p2.add_argument("--fast", action="store_true", help="small profile")
+
+    p7 = sub.add_parser("fig7", help="Figure 7: runtime comparison")
+    p7.add_argument("--task", choices=("mnist", "har", "okg"))
+
+    sub.add_parser("fig8", help="Figure 8: FC1 vs BCM block size")
+    sub.add_parser("overhead", help="Section IV-A.5: checkpoint overhead")
+    sub.add_parser("ablations", help="design-choice ablations A1-A3")
+
+    ps = sub.add_parser("sweep", help="design-space sweeps")
+    ps.add_argument("--axis", choices=("capacitor", "power", "trace"),
+                    default="power")
+    ps.add_argument("--task", choices=("mnist", "har", "okg"))
+
+    pa = sub.add_parser("all", help="everything (slow)")
+    pa.add_argument("--fast", action="store_true")
+    return parser
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "overhead": _cmd_overhead,
+    "ablations": _cmd_ablations,
+    "sweep": _cmd_sweep,
+    "all": _cmd_all,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

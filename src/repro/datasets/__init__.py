@@ -1,0 +1,17 @@
+"""Deterministic synthetic datasets standing in for MNIST / UCI-HAR /
+Google Speech Commands (see DESIGN.md for the substitution rationale)."""
+
+from repro.datasets.synth_har import ACTIVITY_NAMES, make_har, render_window
+from repro.datasets.synth_mnist import make_mnist, render_digit
+from repro.datasets.synth_okg import KEYWORDS, make_okg, render_keyword
+
+__all__ = [
+    "ACTIVITY_NAMES",
+    "KEYWORDS",
+    "make_har",
+    "make_mnist",
+    "make_okg",
+    "render_digit",
+    "render_keyword",
+    "render_window",
+]

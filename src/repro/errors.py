@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause.  The two
+simulation-control exceptions, :class:`PowerFailureError` and
+:class:`InferenceAborted`, are *not* programming errors: they are the normal
+signalling mechanism of the intermittent-execution machine.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A model, device, or runtime was configured inconsistently."""
+
+
+class ResourceExceededError(ReproError):
+    """A model or buffer does not fit the device's SRAM/FRAM budget."""
+
+
+class QuantizationError(ReproError):
+    """Fixed-point conversion failed (bad shape, bad exponent, NaN input)."""
+
+
+class PowerFailureError(ReproError):
+    """The capacitor voltage dropped below the brown-out threshold.
+
+    Raised by the device/harvester while a runtime is executing; caught by
+    :class:`repro.sim.machine.IntermittentMachine`, which clears volatile
+    state, waits for the capacitor to recharge, and restarts the runtime.
+    """
+
+    def __init__(self, message: str = "brown-out: supply voltage below V_off") -> None:
+        super().__init__(message)
+
+
+class InferenceAborted(ReproError):
+    """An inference made no forward progress across many power cycles (DNF)."""
+
+    def __init__(self, reboots: int, message: str = "") -> None:
+        self.reboots = reboots
+        super().__init__(
+            message or f"no forward progress after {reboots} power cycles (DNF)"
+        )
+
+
+class CheckpointError(ReproError):
+    """Checkpoint data in FRAM was missing or inconsistent on restore."""

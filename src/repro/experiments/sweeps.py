@@ -1,0 +1,136 @@
+"""Design-space sweeps beyond the paper's headline figures.
+
+These extend the evaluation along the axes the paper's conclusion points
+at: how much energy storage a runtime needs (capacitor sweep), how weak a
+supply each runtime survives (power sweep), and how FLEX behaves across
+qualitatively different harvesting sources (trace sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.experiments.common import (
+    RUNTIME_ORDER,
+    make_dataset,
+    prepare_quantized,
+    run_inference,
+)
+from repro.experiments.reporting import format_table
+from repro.power import (
+    Capacitor,
+    EnergyHarvester,
+    SolarTrace,
+    SquareWaveTrace,
+    StochasticRFTrace,
+)
+from repro.sim import RunResult
+
+
+@dataclass
+class SweepCell:
+    """One (configuration, runtime) measurement."""
+
+    completed: bool
+    wall_time_s: float = 0.0
+    reboots: int = 0
+
+    @classmethod
+    def from_result(cls, r: RunResult) -> "SweepCell":
+        return cls(completed=r.completed, wall_time_s=r.wall_time_s,
+                   reboots=r.reboots)
+
+    def render(self) -> str:
+        if not self.completed:
+            return "DNF"
+        return f"{self.wall_time_s * 1e3:.0f}ms/{self.reboots}rb"
+
+
+def capacitor_sweep(
+    task: str = "mnist",
+    capacitances_uf: Sequence[float] = (22.0, 47.0, 100.0, 330.0, 1000.0),
+    *,
+    runtimes: Sequence[str] = RUNTIME_ORDER,
+    power_w: float = 5e-3,
+    seed: int = 0,
+) -> Dict[float, Dict[str, SweepCell]]:
+    """Completion behaviour versus energy-storage size.
+
+    Small capacitors force frequent failures (favouring fine-grained
+    checkpointing); big ones can hold a whole inference (making even
+    BASE/ACE survive).  Returns {capacitance_uF: {runtime: cell}}.
+    """
+    qmodel = prepare_quantized(task, seed=seed)
+    x = make_dataset(task, 16, seed=seed).x[0]
+    table: Dict[float, Dict[str, SweepCell]] = {}
+    for cap_uf in capacitances_uf:
+        row = {}
+        for name in runtimes:
+            harvester = EnergyHarvester(
+                SquareWaveTrace(power_w, 0.05, 0.3),
+                Capacitor(cap_uf * 1e-6),
+            )
+            row[name] = SweepCell.from_result(
+                run_inference(name, qmodel, x, harvester=harvester)
+            )
+        table[cap_uf] = row
+    return table
+
+
+def power_sweep(
+    task: str = "mnist",
+    powers_mw: Sequence[float] = (1.0, 2.0, 5.0, 12.0, 40.0),
+    *,
+    runtimes: Sequence[str] = RUNTIME_ORDER,
+    seed: int = 0,
+) -> Dict[float, Dict[str, SweepCell]]:
+    """Completion behaviour versus harvesting strength (100 uF cap)."""
+    qmodel = prepare_quantized(task, seed=seed)
+    x = make_dataset(task, 16, seed=seed).x[0]
+    table: Dict[float, Dict[str, SweepCell]] = {}
+    for p_mw in powers_mw:
+        row = {}
+        for name in runtimes:
+            harvester = EnergyHarvester(
+                SquareWaveTrace(p_mw * 1e-3, 0.05, 0.3), Capacitor()
+            )
+            row[name] = SweepCell.from_result(
+                run_inference(name, qmodel, x, harvester=harvester)
+            )
+        table[p_mw] = row
+    return table
+
+
+def trace_sweep(
+    task: str = "mnist",
+    *,
+    runtime: str = "ACE+FLEX",
+    seed: int = 0,
+) -> Dict[str, SweepCell]:
+    """ACE+FLEX across qualitatively different harvesting sources."""
+    qmodel = prepare_quantized(task, seed=seed)
+    x = make_dataset(task, 16, seed=seed).x[0]
+    traces = {
+        "square-wave": SquareWaveTrace(5e-3, 0.05, 0.3),
+        "bursty-rf": StochasticRFTrace(1.5e-3, mean_on_s=0.02,
+                                       mean_off_s=0.04, seed=seed),
+        "solar-like": SolarTrace(5e-3, period_s=1.0),
+    }
+    out = {}
+    for label, trace in traces.items():
+        harvester = EnergyHarvester(trace, Capacitor())
+        out[label] = SweepCell.from_result(
+            run_inference(runtime, qmodel, x, harvester=harvester)
+        )
+    return out
+
+
+def render_sweep(table, axis_label: str, unit: str = "") -> str:
+    """Render a {config: {runtime: cell}} sweep as a text table."""
+    runtimes = list(next(iter(table.values())).keys())
+    rows = []
+    for cfg, row in table.items():
+        rows.append((f"{cfg}{unit}", *[row[name].render() for name in runtimes]))
+    return format_table([axis_label, *runtimes], rows,
+                        title=f"Sweep over {axis_label}")

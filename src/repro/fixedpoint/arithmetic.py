@@ -1,0 +1,142 @@
+"""Saturating Q15 arithmetic primitives.
+
+These model the LEA's integer datapath: 16-bit operands, saturating adds,
+fractional multiplies with rounding, and a 32-bit multiply-accumulate.  All
+operations are vectorized over numpy arrays; the optional
+:class:`~repro.fixedpoint.overflow.OverflowMonitor` argument lets kernels
+attribute saturation events to named sites.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fixedpoint.overflow import OverflowMonitor
+from repro.fixedpoint.q15 import (
+    INT16_MAX,
+    INT16_MIN,
+    INT32_MAX,
+    INT32_MIN,
+    Q15_FRAC_BITS,
+    saturate16,
+    saturate32,
+)
+
+
+def _monitored_sat16(wide, site: str, monitor: Optional[OverflowMonitor]):
+    if monitor is not None:
+        monitor.check_saturation(site, wide, INT16_MIN, INT16_MAX)
+    return saturate16(wide)
+
+
+def q15_add(a, b, monitor: Optional[OverflowMonitor] = None) -> np.ndarray:
+    """Saturating Q15 addition (LEA ``ADD`` vector op)."""
+    wide = np.asarray(a, dtype=np.int32) + np.asarray(b, dtype=np.int32)
+    return _monitored_sat16(wide, "q15_add", monitor)
+
+
+def q15_sub(a, b, monitor: Optional[OverflowMonitor] = None) -> np.ndarray:
+    """Saturating Q15 subtraction."""
+    wide = np.asarray(a, dtype=np.int32) - np.asarray(b, dtype=np.int32)
+    return _monitored_sat16(wide, "q15_sub", monitor)
+
+
+def q15_mul(a, b, monitor: Optional[OverflowMonitor] = None) -> np.ndarray:
+    """Fractional Q15 multiply with round-to-nearest (LEA ``MPY``).
+
+    ``(a * b + 2**14) >> 15`` in 32-bit, then saturate to int16.  The only
+    saturating case is ``(-1) * (-1)`` which would produce +1.0.
+    """
+    wide = np.asarray(a, dtype=np.int32) * np.asarray(b, dtype=np.int32)
+    rounded = (wide + (1 << (Q15_FRAC_BITS - 1))) >> Q15_FRAC_BITS
+    return _monitored_sat16(rounded, "q15_mul", monitor)
+
+
+def q15_neg(a, monitor: Optional[OverflowMonitor] = None) -> np.ndarray:
+    """Saturating negation (``-INT16_MIN`` saturates to ``INT16_MAX``)."""
+    wide = -np.asarray(a, dtype=np.int32)
+    return _monitored_sat16(wide, "q15_neg", monitor)
+
+
+def q15_shift(a, amount: int, monitor: Optional[OverflowMonitor] = None) -> np.ndarray:
+    """Arithmetic shift (LEA ``SHIFT``): left if ``amount`` > 0, right if < 0.
+
+    Right shifts round to nearest; left shifts saturate.
+    """
+    arr = np.asarray(a, dtype=np.int32)
+    if amount >= 0:
+        wide = arr << amount if amount < 31 else arr * (1 << amount)
+        return _monitored_sat16(wide, "q15_shift", monitor)
+    right = -amount
+    rounded = (arr + (1 << (right - 1))) >> right
+    return saturate16(rounded)
+
+
+def q15_mac(a, b, monitor: Optional[OverflowMonitor] = None) -> np.int32:
+    """Multiply-accumulate of two Q15 vectors into a 32-bit accumulator.
+
+    This is LEA's ``MAC`` command: the dot product of two int16 vectors
+    accumulated at 32-bit width with saturation.  The result is a raw Q30
+    integer (the caller chooses how to requantize it).
+    """
+    prods = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+    acc = np.int64(prods.sum())
+    if monitor is not None:
+        monitor.record(
+            "q15_mac",
+            int(acc < INT32_MIN or acc > INT32_MAX),
+            1,
+        )
+    return np.int32(np.clip(acc, INT32_MIN, INT32_MAX))
+
+
+def q15_mac_columns(mat, vec, monitor: Optional[OverflowMonitor] = None) -> np.ndarray:
+    """Batched MAC: dot each row of int16 ``mat`` with int16 ``vec``.
+
+    Equivalent to issuing one LEA MAC per row; returns int32 Q30 accumulators
+    with per-row saturation accounting.
+    """
+    wide = np.asarray(mat, dtype=np.int64) @ np.asarray(vec, dtype=np.int64)
+    if monitor is not None:
+        monitor.check_saturation("q15_mac", wide, INT32_MIN, INT32_MAX)
+    return saturate32(wide)
+
+
+def requantize_acc(acc, shift: int, monitor: Optional[OverflowMonitor] = None) -> np.ndarray:
+    """Requantize 32-bit accumulators to int16 by a rounded right shift.
+
+    ``shift`` is how many fractional bits to drop; a MAC of two Q15 vectors
+    produces Q30, so ``shift=15`` lands back on the Q15 grid.  Negative
+    shifts (scale up) saturate.
+    """
+    arr = np.asarray(acc, dtype=np.int64)
+    if shift > 0:
+        wide = (arr + (np.int64(1) << (shift - 1))) >> shift
+    elif shift == 0:
+        wide = arr
+    else:
+        wide = arr * (np.int64(1) << (-shift))
+    return _monitored_sat16(wide, "requantize", monitor)
+
+
+def complex_q15_mul(
+    are, aim, bre, bim, monitor: Optional[OverflowMonitor] = None
+):
+    """Complex Q15 multiply: ``(are + j*aim) * (bre + j*bim)``.
+
+    Products are formed at 32-bit width and rounded back to Q15 *after* the
+    add/sub, matching LEA's complex-multiply macro (one guard bit suffices
+    because each partial product magnitude is < 1).
+    """
+    are = np.asarray(are, dtype=np.int32)
+    aim = np.asarray(aim, dtype=np.int32)
+    bre = np.asarray(bre, dtype=np.int32)
+    bim = np.asarray(bim, dtype=np.int32)
+    half = 1 << (Q15_FRAC_BITS - 1)
+    re_wide = (are * bre - aim * bim + half) >> Q15_FRAC_BITS
+    im_wide = (are * bim + aim * bre + half) >> Q15_FRAC_BITS
+    re = _monitored_sat16(re_wide, "complex_mul", monitor)
+    im = _monitored_sat16(im_wide, "complex_mul", monitor)
+    return re, im

@@ -1,0 +1,176 @@
+"""Fixed-point radix-2 FFT/IFFT, modelling the LEA's complex FFT command.
+
+The LEA computes in-place complex FFTs on int16 data.  To avoid overflow it
+offers a *scaled* variant that arithmetic-shifts the data right by one bit at
+every butterfly stage, so an N-point scaled FFT returns ``FFT(x) / N``.  The
+unscaled variant is faster-growing and saturates on energetic inputs — the
+paper's Algorithm 1 pre-scales inputs precisely to avoid that.
+
+Scale bookkeeping convention
+----------------------------
+Both directions return ``(re, im, scale_log2)`` where the mathematically
+exact transform is recovered as::
+
+    FFT(x)  = output * 2**scale_log2          (q15_fft)
+    IFFT(x) = output * 2**scale_log2          (q15_ifft, 1/N included)
+
+With ``scaling="stage"``: ``q15_fft`` has ``scale_log2 = log2(N)`` and
+``q15_ifft`` has ``scale_log2 = 0`` (the per-stage shifts exactly provide the
+1/N of the inverse transform).  With ``scaling="none"``: ``q15_fft`` has
+``scale_log2 = 0`` and ``q15_ifft`` has ``scale_log2 = -log2(N)``.
+
+All functions are vectorized over leading batch dimensions.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint.overflow import OverflowMonitor
+from repro.fixedpoint.q15 import INT16_MAX, INT16_MIN, Q15_ONE, saturate16
+
+_VALID_SCALING = ("stage", "none")
+
+
+def _check_length(n: int) -> int:
+    """Validate a power-of-two FFT length and return log2(n)."""
+    if n < 2 or (n & (n - 1)) != 0:
+        raise ConfigurationError(f"FFT length must be a power of two >= 2, got {n}")
+    return n.bit_length() - 1
+
+
+@lru_cache(maxsize=32)
+def bit_reversal_permutation(n: int) -> np.ndarray:
+    """Index array that bit-reverse-permutes a length-``n`` signal."""
+    log2n = _check_length(n)
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros(n, dtype=np.int64)
+    for bit in range(log2n):
+        rev |= ((idx >> bit) & 1) << (log2n - 1 - bit)
+    return rev
+
+
+@lru_cache(maxsize=32)
+def twiddle_q15(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Q15 twiddle factors ``exp(-2*pi*j*k/n)`` for ``k in [0, n/2)``."""
+    _check_length(n)
+    k = np.arange(n // 2, dtype=np.float64)
+    angle = -2.0 * np.pi * k / n
+    re = np.clip(np.rint(np.cos(angle) * Q15_ONE), INT16_MIN, INT16_MAX)
+    im = np.clip(np.rint(np.sin(angle) * Q15_ONE), INT16_MIN, INT16_MAX)
+    return re.astype(np.int16), im.astype(np.int16)
+
+
+def _rounded_half(x: np.ndarray) -> np.ndarray:
+    """Arithmetic shift right by one with round-to-nearest (int32 in/out)."""
+    return (x + 1) >> 1
+
+
+def _fft_core(
+    re: np.ndarray,
+    im: np.ndarray,
+    scaling: str,
+    monitor: Optional[OverflowMonitor],
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    n = re.shape[-1]
+    log2n = _check_length(n)
+    if scaling not in _VALID_SCALING:
+        raise ConfigurationError(f"scaling must be one of {_VALID_SCALING}")
+
+    perm = bit_reversal_permutation(n)
+    wre_full, wim_full = twiddle_q15(n)
+
+    # Work at int32 width; saturate back to int16 after each stage.
+    xre = np.asarray(re, dtype=np.int32)[..., perm]
+    xim = np.asarray(im, dtype=np.int32)[..., perm]
+    batch_shape = xre.shape[:-1]
+
+    for stage in range(log2n):
+        half = 1 << stage
+        m = half << 1
+        if scaling == "stage":
+            xre = _rounded_half(xre)
+            xim = _rounded_half(xim)
+        shaped_re = xre.reshape(batch_shape + (n // m, m))
+        shaped_im = xim.reshape(batch_shape + (n // m, m))
+        top_re = shaped_re[..., :half]
+        top_im = shaped_im[..., :half]
+        bot_re = shaped_re[..., half:]
+        bot_im = shaped_im[..., half:]
+        # Twiddle stride selects the factors this stage needs.
+        stride = n // m
+        wre = wre_full[::stride].astype(np.int32)
+        wim = wim_full[::stride].astype(np.int32)
+        # t = w * bottom, computed at 32-bit then rounded back to Q15 scale.
+        rnd = 1 << 14
+        t_re = (wre * bot_re - wim * bot_im + rnd) >> 15
+        t_im = (wre * bot_im + wim * bot_re + rnd) >> 15
+        new_top_re = top_re + t_re
+        new_top_im = top_im + t_im
+        new_bot_re = top_re - t_re
+        new_bot_im = top_im - t_im
+        xre = np.concatenate([new_top_re, new_bot_re], axis=-1).reshape(
+            batch_shape + (n,)
+        )
+        xim = np.concatenate([new_top_im, new_bot_im], axis=-1).reshape(
+            batch_shape + (n,)
+        )
+        if monitor is not None:
+            monitor.check_saturation("fft_stage", xre, INT16_MIN, INT16_MAX)
+            monitor.check_saturation("fft_stage", xim, INT16_MIN, INT16_MAX)
+        xre = np.clip(xre, INT16_MIN, INT16_MAX)
+        xim = np.clip(xim, INT16_MIN, INT16_MAX)
+
+    scale_log2 = log2n if scaling == "stage" else 0
+    return saturate16(xre), saturate16(xim), scale_log2
+
+
+def q15_fft(
+    re,
+    im,
+    *,
+    scaling: str = "stage",
+    monitor: Optional[OverflowMonitor] = None,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Forward fixed-point FFT over the last axis.
+
+    Returns ``(re, im, scale_log2)`` with ``FFT(x) = out * 2**scale_log2``.
+    """
+    return _fft_core(np.asarray(re), np.asarray(im), scaling, monitor)
+
+
+def q15_ifft(
+    re,
+    im,
+    *,
+    scaling: str = "stage",
+    monitor: Optional[OverflowMonitor] = None,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Inverse fixed-point FFT via the conjugation identity.
+
+    ``IFFT(z) = conj(FFT(conj(z))) / N``; with per-stage scaling the 1/N is
+    supplied by the shifts, so the returned data *is* the inverse transform
+    (``scale_log2 = 0``).
+    """
+    n = np.asarray(re).shape[-1]
+    log2n = _check_length(n)
+    out_re, out_im, fwd_scale = _fft_core(
+        np.asarray(re), saturate16(-np.asarray(im, dtype=np.int32)), scaling, monitor
+    )
+    out_im = saturate16(-out_im.astype(np.int32))
+    # fwd_scale is log2n ("stage") or 0 ("none"); dividing by N subtracts log2n.
+    return out_re, out_im, fwd_scale - log2n
+
+
+def fft_reference(re, im) -> np.ndarray:
+    """Float reference ``FFT`` of Q15 raw integers (returns complex floats).
+
+    Interprets inputs on the Q15 grid, so comparisons against
+    ``q15_fft(...)[0:2] * 2**scale_log2`` are apples-to-apples in raw units.
+    """
+    x = np.asarray(re, dtype=np.float64) + 1j * np.asarray(im, dtype=np.float64)
+    return np.fft.fft(x, axis=-1)

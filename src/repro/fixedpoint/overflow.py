@@ -1,0 +1,70 @@
+"""Overflow accounting for fixed-point kernels.
+
+The paper's ACE performs *overflow-aware computation*: scaling data before
+FFT/MAC operations so 16-bit saturation never corrupts results.  To evaluate
+that claim (and run the overflow ablation), the kernels report every event
+where a value had to be clamped.  :class:`OverflowMonitor` aggregates those
+events per named site so experiments can print, e.g., how many FFT butterfly
+outputs saturated with Algorithm-1 scaling disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass
+class OverflowMonitor:
+    """Counts saturation events grouped by a caller-chosen site name."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    total_values: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, site: str, n_overflows: int, n_values: int) -> None:
+        """Record that ``n_overflows`` of ``n_values`` results saturated."""
+        if n_values < 0 or n_overflows < 0:
+            raise ValueError("overflow counts must be non-negative")
+        self.counts[site] = self.counts.get(site, 0) + int(n_overflows)
+        self.total_values[site] = self.total_values.get(site, 0) + int(n_values)
+
+    def check_saturation(self, site: str, wide, lo: int, hi: int) -> None:
+        """Record how many entries of ``wide`` fall outside ``[lo, hi]``."""
+        arr = np.asarray(wide)
+        n_over = int(np.count_nonzero((arr < lo) | (arr > hi)))
+        self.record(site, n_over, arr.size)
+
+    @property
+    def total(self) -> int:
+        """Total saturation events across all sites."""
+        return sum(self.counts.values())
+
+    def rate(self, site: str) -> float:
+        """Fraction of values at ``site`` that saturated (0.0 if none seen)."""
+        seen = self.total_values.get(site, 0)
+        if seen == 0:
+            return 0.0
+        return self.counts.get(site, 0) / seen
+
+    def reset(self) -> None:
+        """Clear all recorded events."""
+        self.counts.clear()
+        self.total_values.clear()
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-site report."""
+        if not self.counts:
+            return "no overflow events recorded"
+        lines = []
+        for site in sorted(self.counts):
+            lines.append(
+                f"{site}: {self.counts[site]} / {self.total_values[site]} "
+                f"({100.0 * self.rate(site):.3f}%)"
+            )
+        return "\n".join(lines)
+
+
+#: Module-level monitor used by kernels when the caller does not supply one.
+GLOBAL_MONITOR = OverflowMonitor()

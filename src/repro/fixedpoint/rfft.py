@@ -1,0 +1,106 @@
+"""Real-input FFT in fixed point (the LEA's real-FFT command).
+
+Every signal in this system is real (activations, weight columns), so an
+N-point spectrum can be computed with an N/2-point *complex* FFT plus an
+O(N) untangling pass — the optimization the LEA's real-FFT commands
+implement in hardware and that ACE could use to halve BCM transform cost.
+
+Packing: ``z[n] = x[2n] + j*x[2n+1]``; with ``Z = FFT_{N/2}(z)`` the real
+spectrum is::
+
+    X[k] = (Z[k] + conj(Z[N/2-k]))/2
+           - j * exp(-2*pi*j*k/N) * (Z[k] - conj(Z[N/2-k]))/2
+
+for ``k = 0..N/2`` (the remaining bins follow from Hermitian symmetry).
+
+Scale convention matches :mod:`repro.fixedpoint.fft`: the function returns
+``(re, im, scale_log2)`` with ``rfft(x) = out * 2**scale_log2``; with
+stage scaling ``scale_log2 = log2(N)`` (the N/2 FFT contributes
+``log2(N) - 1`` and the untangling's half contributes one more bit).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint.fft import q15_fft
+from repro.fixedpoint.overflow import OverflowMonitor
+from repro.fixedpoint.q15 import INT16_MAX, INT16_MIN, Q15_ONE, saturate16
+
+
+@lru_cache(maxsize=32)
+def _untangle_twiddles(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Q15 factors ``exp(-2*pi*j*k/n)`` for ``k in [0, n/2]``."""
+    k = np.arange(n // 2 + 1, dtype=np.float64)
+    angle = -2.0 * np.pi * k / n
+    re = np.clip(np.rint(np.cos(angle) * Q15_ONE), INT16_MIN, INT16_MAX)
+    im = np.clip(np.rint(np.sin(angle) * Q15_ONE), INT16_MIN, INT16_MAX)
+    return re.astype(np.int16), im.astype(np.int16)
+
+
+def q15_rfft(
+    x,
+    *,
+    monitor: Optional[OverflowMonitor] = None,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Fixed-point FFT of a real signal over the last axis.
+
+    Returns the first ``N/2 + 1`` spectrum bins as ``(re, im, scale_log2)``
+    (the rest are the conjugate mirror).  Input length must be a power of
+    two >= 4.  Uses the per-stage-scaled complex FFT internally, so the
+    result cannot overflow for any int16 input.
+    """
+    x = np.asarray(x)
+    n = x.shape[-1]
+    if n < 4 or n & (n - 1):
+        raise ConfigurationError(
+            f"rfft length must be a power of two >= 4, got {n}"
+        )
+    half = n // 2
+    # Pack even samples as real, odd samples as imaginary.
+    ze = x[..., 0::2].astype(np.int16)
+    zo = x[..., 1::2].astype(np.int16)
+    z_re, z_im, z_scale = q15_fft(ze, zo, scaling="stage", monitor=monitor)
+
+    # Mirror index: conj(Z[half - k]), with Z[half] meaning Z[0].
+    idx = (-np.arange(half + 1)) % half
+    a_re = z_re[..., np.concatenate([np.arange(half), [0]])].astype(np.int64)
+    a_im = z_im[..., np.concatenate([np.arange(half), [0]])].astype(np.int64)
+    b_re = z_re[..., idx].astype(np.int64)
+    b_im = -z_im[..., idx].astype(np.int64)
+
+    # Even/odd spectra (each halved to keep headroom; rounded shifts).
+    fe_re = (a_re + b_re + 1) >> 1
+    fe_im = (a_im + b_im + 1) >> 1
+    fo_re = (a_re - b_re + 1) >> 1
+    fo_im = (a_im - b_im + 1) >> 1
+
+    wre, wim = _untangle_twiddles(n)
+    wre = wre.astype(np.int64)
+    wim = wim.astype(np.int64)
+    rnd = np.int64(1) << 14
+    # -j * W * Fo  ==  (W_im * Fo_re + W_re * Fo_im) ... expanded:
+    # (-j)(wre + j wim)(fo_re + j fo_im)
+    #   = (wim*fo_re + wre*fo_im) + j(wim*fo_im - wre*fo_re) ... times -1?
+    # Derive directly: term = -j * (wre + j*wim) * (fo_re + j*fo_im)
+    #   real = wre*fo_im + wim*fo_re
+    #   imag = wim*fo_im - wre*fo_re
+    t_re = (wre * fo_im + wim * fo_re + rnd) >> 15
+    t_im = (wim * fo_im - wre * fo_re + rnd) >> 15
+    out_re = fe_re + t_re
+    out_im = fe_im + t_im
+    if monitor is not None:
+        monitor.check_saturation("rfft_untangle", out_re, INT16_MIN, INT16_MAX)
+        monitor.check_saturation("rfft_untangle", out_im, INT16_MIN, INT16_MAX)
+    # Scale: Z = FFT_{N/2} / 2**z_scale, and the /2 of the even/odd split
+    # is already applied to fe/fo above, so the output shares Z's scale.
+    return saturate16(out_re), saturate16(out_im), z_scale
+
+
+def rfft_reference(x) -> np.ndarray:
+    """Float ``numpy.fft.rfft`` of raw integer input, for comparisons."""
+    return np.fft.rfft(np.asarray(x, dtype=np.float64), axis=-1)

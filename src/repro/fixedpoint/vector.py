@@ -1,0 +1,151 @@
+"""Block-exponent fixed-point vectors (LEA ``BEXP`` style).
+
+A :class:`QVector` stores int16 mantissas plus a single shared exponent, so
+the represented values are ``data * 2**(exp - 15)``.  This mirrors how real
+LEA firmware tracks dynamic range: the accelerator's ``BEXP`` command finds
+the block exponent of a vector, and scaled FFT stages simply increment the
+exponent instead of losing the magnitude.
+
+ACE's Algorithm-1 "scale down / scale up" bookkeeping becomes exact
+exponent arithmetic here (see ``repro.ace.scaling``), which is why the BCM
+pipeline survives 16-bit quantization without catastrophic precision loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.fixedpoint.overflow import OverflowMonitor
+from repro.fixedpoint.q15 import INT16_MAX, INT16_MIN, Q15_FRAC_BITS, saturate16
+
+
+def _shift_right_rounded(arr: np.ndarray, amount: int) -> np.ndarray:
+    if amount <= 0:
+        return arr
+    return (arr + (np.int64(1) << (amount - 1))) >> amount
+
+
+@dataclass(frozen=True)
+class QVector:
+    """Real-valued fixed-point vector with a shared block exponent."""
+
+    data: np.ndarray  # int16
+    exp: int  # value = data * 2**(exp - 15)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.data)
+        if arr.dtype != np.int16:
+            raise QuantizationError(f"QVector data must be int16, got {arr.dtype}")
+
+    @classmethod
+    def from_float(cls, x, exp: Optional[int] = None) -> "QVector":
+        """Quantize floats, auto-choosing the smallest non-saturating exponent."""
+        arr = np.asarray(x, dtype=np.float64)
+        if not np.all(np.isfinite(arr)):
+            raise QuantizationError("cannot quantize non-finite values")
+        if exp is None:
+            peak = float(np.max(np.abs(arr))) if arr.size else 0.0
+            exp = 0
+            # Q15 with exponent e represents magnitudes < 2**e.
+            while peak >= (1 << exp) and exp < 16:
+                exp += 1
+        data = np.clip(
+            np.rint(arr * (1 << (Q15_FRAC_BITS - exp))), INT16_MIN, INT16_MAX
+        ).astype(np.int16)
+        return cls(data=data, exp=exp)
+
+    def to_float(self) -> np.ndarray:
+        """Recover floating-point values."""
+        return self.data.astype(np.float64) * (2.0 ** (self.exp - Q15_FRAC_BITS))
+
+    def __len__(self) -> int:
+        return int(np.asarray(self.data).shape[-1])
+
+    def rescale(
+        self, new_exp: int, monitor: Optional[OverflowMonitor] = None
+    ) -> "QVector":
+        """Re-express the same values under a different exponent.
+
+        Raising the exponent loses low bits (rounded); lowering it can
+        saturate, which is reported to ``monitor`` under ``qvector_rescale``.
+        """
+        delta = new_exp - self.exp
+        wide = self.data.astype(np.int64)
+        if delta > 0:
+            shifted = _shift_right_rounded(wide, delta)
+        elif delta < 0:
+            shifted = wide << (-delta)
+        else:
+            shifted = wide
+        if monitor is not None:
+            monitor.check_saturation("qvector_rescale", shifted, INT16_MIN, INT16_MAX)
+        return QVector(data=saturate16(shifted), exp=new_exp)
+
+    def normalized(self) -> "QVector":
+        """Minimize the exponent without saturating (the BEXP operation)."""
+        if not np.any(self.data):
+            return QVector(data=self.data, exp=0)
+        peak = int(np.max(np.abs(self.data.astype(np.int32))))
+        exp = self.exp
+        data = self.data.astype(np.int32)
+        # Shift mantissas left while headroom remains.
+        while peak < (INT16_MAX + 1) // 2 and exp > -16:
+            data = data << 1
+            peak <<= 1
+            exp -= 1
+        return QVector(data=saturate16(data), exp=exp)
+
+
+@dataclass(frozen=True)
+class QComplexVector:
+    """Complex fixed-point vector with a shared block exponent."""
+
+    re: np.ndarray  # int16
+    im: np.ndarray  # int16
+    exp: int
+
+    def __post_init__(self) -> None:
+        re = np.asarray(self.re)
+        im = np.asarray(self.im)
+        if re.dtype != np.int16 or im.dtype != np.int16:
+            raise QuantizationError("QComplexVector parts must be int16")
+        if re.shape != im.shape:
+            raise QuantizationError(
+                f"mismatched re/im shapes {re.shape} vs {im.shape}"
+            )
+
+    @classmethod
+    def from_real(cls, vec: QVector) -> "QComplexVector":
+        """Promote a real vector to complex (ACE Algorithm 1 ``COMPLEX``)."""
+        return cls(re=vec.data, im=np.zeros_like(vec.data), exp=vec.exp)
+
+    @classmethod
+    def from_complex_floats(cls, z, exp: Optional[int] = None) -> "QComplexVector":
+        """Quantize complex floats with a shared auto-chosen exponent."""
+        z = np.asarray(z, dtype=np.complex128)
+        peak = float(max(np.max(np.abs(z.real), initial=0.0),
+                         np.max(np.abs(z.imag), initial=0.0)))
+        if exp is None:
+            exp = 0
+            while peak >= (1 << exp) and exp < 16:
+                exp += 1
+        scale = 1 << (Q15_FRAC_BITS - exp)
+        re = np.clip(np.rint(z.real * scale), INT16_MIN, INT16_MAX).astype(np.int16)
+        im = np.clip(np.rint(z.imag * scale), INT16_MIN, INT16_MAX).astype(np.int16)
+        return cls(re=re, im=im, exp=exp)
+
+    def to_complex(self) -> np.ndarray:
+        """Recover complex floating-point values."""
+        scale = 2.0 ** (self.exp - Q15_FRAC_BITS)
+        return (self.re.astype(np.float64) + 1j * self.im.astype(np.float64)) * scale
+
+    def real_part(self) -> QVector:
+        """Drop the imaginary component (ACE Algorithm 1 ``REAL``)."""
+        return QVector(data=self.re.copy(), exp=self.exp)
+
+    def __len__(self) -> int:
+        return int(np.asarray(self.re).shape[-1])

@@ -1,0 +1,37 @@
+"""ACE + FLEX: the paper's full system under intermittent power.
+
+Same execution plan as :class:`~repro.ace.runtime.AceRuntime`, plus:
+
+* state-bit commits (b0-b2 + block indices, 2 FRAM words) after every
+  stage of the BCM FFT pipeline and every vector-op writeback;
+* on-demand snapshots: when the voltage monitor warns, the machine
+  persists the live intermediate vector so the pipeline resumes exactly
+  where it stopped (Figure 6, right);
+* loop-index checkpointing for all other layers (Section III-C,
+  "Other layer").
+"""
+
+from __future__ import annotations
+
+from repro.ace.plan import PlanConfig
+from repro.ace.runtime import AceRuntime
+from repro.hw import constants as C
+
+
+class FlexRuntime(AceRuntime):
+    """Intermittence-safe ACE (the paper's ACE + FLEX configuration)."""
+
+    name = "ACE+FLEX"
+    commit_enabled = True
+    snapshot_on_warning = True
+
+    def _plan_config(self) -> PlanConfig:
+        return PlanConfig(
+            use_dma=self.use_dma,
+            commit=True,
+            commit_words=C.FLEX_COMMIT_WORDS,
+            bcm_stage_commits=True,
+        )
+
+    def restore_words(self) -> int:
+        return C.FLEX_COMMIT_WORDS

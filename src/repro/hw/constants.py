@@ -1,0 +1,136 @@
+"""Cost-model constants for the simulated MSP430FR5994 + LEA.
+
+Magnitudes are derived from TI documentation (MSP430FR5994 datasheet,
+LEA app note SLAA720, EnergyTrace measurements reported in the SONIC/TAILS
+paper): a 16 MHz MCU drawing ~120 uA/MHz at 3 V, an LEA that executes
+vector ops autonomously at roughly one element per cycle while the CPU
+sleeps, DMA at ~2 cycles/word versus ~7 cycles/word for CPU-driven copies,
+and FRAM writes costing several times an SRAM access.
+
+The absolute values are approximations — the paper's own numbers come from
+a physical testbed — but every experiment in ``benchmarks/`` reports
+*ratios* between runtimes sharing these constants, which is what the
+paper's evaluation claims are about.  The calibration test suite
+(tests/test_calibration.py) pins the ratios to the paper's bands.
+"""
+
+from __future__ import annotations
+
+# --- Clocking ---------------------------------------------------------------
+
+#: System clock of the MSP430FR5994 evaluation board.
+CPU_FREQ_HZ = 16_000_000
+
+#: Seconds per cycle.
+CYCLE_S = 1.0 / CPU_FREQ_HZ
+
+#: Real compiled intermittent systems execute many more cycles than the
+#: idealized per-op counts below: compiler-generated loads/stores, FRAM
+#: wait states, runtime function calls, and buffer marshalling.  SONIC's
+#: published measurements put LeNet-class CPU inference at whole seconds
+#: on this MCU; our idealized counts alone land ~8x lower.  The factor is
+#: applied uniformly to every action's duration (so all runtime *ratios*
+#: are unaffected) and calibrates absolute times/energies to the published
+#: scale -- which is what makes a 100 uF capacitor's ~0.45 mJ swing too
+#: small for an uncheckpointed inference (Figure 7(b)'s DNFs).
+SYSTEM_OVERHEAD_FACTOR = 8.0
+
+#: Effective wall-clock seconds per counted cycle.
+EFFECTIVE_CYCLE_S = CYCLE_S * SYSTEM_OVERHEAD_FACTOR
+
+# --- Power draw by active component (W) --------------------------------------
+# Active-mode current ~120 uA/MHz @ 3V => ~5.8 mW with CPU crunching.
+# During LEA ops the CPU parks in LPM0; LEA+LPM0 drains noticeably less.
+# DMA bursts similarly run with the CPU idle.
+
+CPU_ACTIVE_W = 5.8e-3
+LEA_ACTIVE_W = 2.6e-3
+DMA_ACTIVE_W = 2.0e-3
+IDLE_W = 0.4e-3  # LPM with RAM retention while waiting (not charging)
+
+# --- Memory access energy adders (J per 16-bit word) -------------------------
+# FRAM accesses go through the cache/wait-state machinery and cost more
+# than SRAM; writes are the most expensive (charge pump).
+
+# Raw per-access energies (one physical word access).
+SRAM_ACCESS_RAW_J = 0.05e-9
+FRAM_READ_RAW_J = 0.3e-9
+FRAM_WRITE_RAW_J = 1.5e-9
+
+# Scaled by the same system-overhead factor as cycle counts so one
+# *counted* access in an inference kernel stands for the real system's
+# full per-element traffic.  Checkpoint commits/restores use the raw
+# values: a FLEX state-bit commit really is just a couple of word writes.
+SRAM_ACCESS_J = SRAM_ACCESS_RAW_J * SYSTEM_OVERHEAD_FACTOR
+FRAM_READ_J = FRAM_READ_RAW_J * SYSTEM_OVERHEAD_FACTOR
+FRAM_WRITE_J = FRAM_WRITE_RAW_J * SYSTEM_OVERHEAD_FACTOR
+
+# --- CPU cycle costs ----------------------------------------------------------
+# Element-wise DNN inner loops on the MSP430 pay for operand loads from
+# FRAM (wait states above 8 MHz), the hardware multiplier handshake, the
+# accumulate, and loop control.  SONIC's measurements put LeNet-scale
+# models at tens of seconds, implying ~40-60 cycles per MAC all-in.
+
+CPU_MAC_CYCLES = 18
+CPU_ALU_CYCLES = 6  # add/compare/max on registers incl. addressing
+CPU_COPY_CYCLES_PER_WORD = 7
+CPU_FFT_BUTTERFLY_CYCLES = 90  # software complex butterfly (4 MAC + adds)
+
+# --- LEA cycle costs ----------------------------------------------------------
+# SLAA720: the LEA datapath streams ~1 element/cycle, but a system-level
+# vector op also pays command-block setup, the wake-up interrupt, and
+# operand alignment; we fold those into the setup constant and a ~2
+# cycle/element effective MAC rate (consistent with the 1.2-4.4x
+# system-level speedups the TAILS paper measured).
+
+LEA_SETUP_CYCLES = 150
+LEA_MAC_CYCLES_PER_ELEM = 3.0
+LEA_ADD_CYCLES_PER_ELEM = 1.0
+LEA_MPY_CYCLES_PER_ELEM = 1.0
+LEA_CMPLX_MPY_CYCLES_PER_ELEM = 4.0
+LEA_FFT_CYCLES_PER_BUTTERFLY = 3.0  # x (N/2 log2 N) butterflies
+
+# --- LEA capacity limits --------------------------------------------------------
+# The LEA operates out of a 4 KB shared SRAM: two int16 MAC operand
+# vectors fit ~896 elements, and the complex FFT command supports at most
+# 256 points (SLAA720).  The paper's largest BCM block (256) sits exactly
+# at that limit -- "selecting a larger block size is limited by device
+# support" (Section IV-A.4).
+
+LEA_MAX_MAC_ELEMS = 896
+LEA_MAX_FFT_POINTS = 256
+
+# --- DMA ----------------------------------------------------------------------
+
+DMA_SETUP_CYCLES = 8
+DMA_CYCLES_PER_WORD = 2
+
+# --- Nonvolatile progress-logging costs (cycles) -------------------------------
+# Writing a loop index / state bits to FRAM: a couple of word writes plus
+# the store instructions.
+
+COMMIT_BASE_CYCLES = 4
+COMMIT_CYCLES_PER_WORD = 4
+
+# --- SONIC-specific overheads ---------------------------------------------------
+# SONIC's loop continuation "continuously saves the loop control states to
+# the nonvolatile memory after each instruction" (paper, Section I): the
+# inner multiply-accumulate pays logging cycles per element, and each
+# output element additionally pays a task-boundary commit.
+
+SONIC_PER_ELEM_OVERHEAD_CYCLES = 6
+SONIC_LOOP_OVERHEAD_CYCLES = 28
+SONIC_LOOP_FRAM_WORDS = 3
+
+# --- TAILS-specific overheads ----------------------------------------------------
+# TAILS commits DMA'd vector-op results and loop indices after each op and
+# pays a task-transition cost per vector operation (channel/queue
+# management of the task-based runtime).
+
+TAILS_COMMIT_WORDS = 2
+TAILS_TASK_CYCLES = 400
+
+# --- FLEX-specific costs -----------------------------------------------------------
+# FLEX state-bit commit: 4 control bits + block index, padded to words.
+
+FLEX_COMMIT_WORDS = 2

@@ -1,0 +1,86 @@
+"""Dataset container and batching utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Dataset:
+    """Supervised dataset: features ``x`` and integer labels ``y``."""
+
+    x: np.ndarray
+    y: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ConfigurationError(
+                f"x has {len(self.x)} samples but y has {len(self.y)}"
+            )
+        if self.num_classes <= 1:
+            raise ConfigurationError("num_classes must be >= 2")
+        y = np.asarray(self.y)
+        if y.size and (y.min() < 0 or y.max() >= self.num_classes):
+            raise ConfigurationError("labels out of range")
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    @property
+    def sample_shape(self) -> Tuple[int, ...]:
+        return tuple(np.asarray(self.x).shape[1:])
+
+    def subset(self, n: int, *, rng: Optional[np.random.Generator] = None) -> "Dataset":
+        """A random class-stratified-ish subset of ``n`` samples."""
+        if n >= len(self):
+            return self
+        rng = rng or np.random.default_rng(0)
+        idx = rng.choice(len(self), size=n, replace=False)
+        return Dataset(self.x[idx], self.y[idx], self.num_classes, self.name)
+
+    def batches(
+        self,
+        batch_size: int,
+        *,
+        shuffle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(x_batch, y_batch)`` minibatches."""
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        order = np.arange(len(self))
+        if shuffle:
+            rng = rng or np.random.default_rng(0)
+            rng.shuffle(order)
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield self.x[idx], self.y[idx]
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    num_classes: int,
+    *,
+    test_fraction: float = 0.2,
+    rng: Optional[np.random.Generator] = None,
+    name: str = "dataset",
+) -> Tuple[Dataset, Dataset]:
+    """Shuffle and split into train/test datasets."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ConfigurationError("test_fraction must be in (0, 1)")
+    rng = rng or np.random.default_rng(0)
+    order = rng.permutation(len(x))
+    n_test = max(1, int(len(x) * test_fraction))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return (
+        Dataset(x[train_idx], y[train_idx], num_classes, f"{name}-train"),
+        Dataset(x[test_idx], y[test_idx], num_classes, f"{name}-test"),
+    )

@@ -1,0 +1,34 @@
+"""Flatten layer bridging conv feature maps and fully connected layers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.module import Layer
+
+
+class Flatten(Layer):
+    """Collapse all non-batch dimensions: ``(N, ...) -> (N, prod(...))``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise ConfigurationError("backward called before forward")
+        return np.asarray(grad_out).reshape(self._shape)
+
+    def output_shape(self, input_shape):
+        size = 1
+        for d in input_shape:
+            size *= int(d)
+        return (size,)

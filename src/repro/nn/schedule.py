@@ -1,0 +1,88 @@
+"""Learning-rate schedules.
+
+A scheduler mutates its optimizer's ``lr`` when stepped; wire it into
+:func:`repro.nn.model.fit` through the ``on_epoch_end`` hook::
+
+    sched = StepDecay(opt, step_epochs=5, factor=0.5)
+    fit(model, x, y, optimizer=opt,
+        on_epoch_end=lambda epoch, loss: sched.step(epoch))
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.nn.optim import Optimizer
+
+
+class Scheduler:
+    """Base: remembers the optimizer and its initial learning rate."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self, epoch: int) -> float:
+        """Set the learning rate for the epoch *after* ``epoch``."""
+        if epoch < 0:
+            raise ConfigurationError("epoch must be non-negative")
+        new_lr = self.lr_at(epoch + 1)
+        self.optimizer.lr = new_lr
+        return new_lr
+
+
+class StepDecay(Scheduler):
+    """Multiply the learning rate by ``factor`` every ``step_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, *, step_epochs: int = 10,
+                 factor: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_epochs <= 0:
+            raise ConfigurationError("step_epochs must be positive")
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError("factor must be in (0, 1]")
+        self.step_epochs = step_epochs
+        self.factor = factor
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.factor ** (epoch // self.step_epochs)
+
+
+class CosineDecay(Scheduler):
+    """Cosine annealing from the base rate down to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, *, total_epochs: int,
+                 min_lr: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ConfigurationError("total_epochs must be positive")
+        if min_lr < 0:
+            raise ConfigurationError("min_lr must be non-negative")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def lr_at(self, epoch: int) -> float:
+        t = min(epoch, self.total_epochs) / self.total_epochs
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * t)
+        )
+
+
+class WarmupWrapper(Scheduler):
+    """Linear warmup for the first ``warmup_epochs``, then delegate."""
+
+    def __init__(self, inner: Scheduler, *, warmup_epochs: int = 3) -> None:
+        super().__init__(inner.optimizer)
+        if warmup_epochs <= 0:
+            raise ConfigurationError("warmup_epochs must be positive")
+        self.inner = inner
+        self.warmup_epochs = warmup_epochs
+
+    def lr_at(self, epoch: int) -> float:
+        if epoch < self.warmup_epochs:
+            return self.base_lr * (epoch + 1) / self.warmup_epochs
+        return self.inner.lr_at(epoch - self.warmup_epochs)

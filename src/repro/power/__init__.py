@@ -1,0 +1,23 @@
+"""Energy-harvesting supply models: traces, capacitor, harvester, monitor."""
+
+from repro.power.capacitor import Capacitor
+from repro.power.harvester import EnergyHarvester
+from repro.power.monitor import VoltageMonitor
+from repro.power.traces import (
+    ConstantTrace,
+    PowerTrace,
+    SolarTrace,
+    SquareWaveTrace,
+    StochasticRFTrace,
+)
+
+__all__ = [
+    "Capacitor",
+    "ConstantTrace",
+    "EnergyHarvester",
+    "PowerTrace",
+    "SolarTrace",
+    "SquareWaveTrace",
+    "StochasticRFTrace",
+    "VoltageMonitor",
+]

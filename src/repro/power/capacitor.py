@@ -1,0 +1,76 @@
+"""Capacitor energy buffer.
+
+Energy-harvesting frontends charge a capacitor and release the device when
+the voltage crosses ``v_on``; execution continues until ``v_off`` (the
+brown-out threshold), at which point volatile state is lost.  The paper's
+testbed uses 100 uF.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+class Capacitor:
+    """State: terminal voltage; energy is (1/2) C V^2."""
+
+    def __init__(
+        self,
+        capacitance_f: float = 100e-6,
+        v_on: float = 3.5,
+        v_off: float = 1.8,
+        v_max: float = 3.6,
+    ) -> None:
+        if capacitance_f <= 0:
+            raise ConfigurationError("capacitance must be positive")
+        if not 0.0 < v_off < v_on <= v_max:
+            raise ConfigurationError(
+                f"need 0 < v_off < v_on <= v_max, got "
+                f"({v_off}, {v_on}, {v_max})"
+            )
+        self.capacitance_f = capacitance_f
+        self.v_on = v_on
+        self.v_off = v_off
+        self.v_max = v_max
+        self.voltage = v_on  # start charged to the turn-on level
+
+    @property
+    def usable_energy_j(self) -> float:
+        """Energy available before brown-out."""
+        return max(
+            0.0,
+            0.5 * self.capacitance_f * (self.voltage ** 2 - self.v_off ** 2),
+        )
+
+    @property
+    def full_swing_energy_j(self) -> float:
+        """Energy of one full v_on -> v_off discharge."""
+        return 0.5 * self.capacitance_f * (self.v_on ** 2 - self.v_off ** 2)
+
+    @property
+    def is_on(self) -> bool:
+        return self.voltage > self.v_off
+
+    def draw(self, energy_j: float) -> bool:
+        """Remove energy; returns False (and clamps to v_off) on brown-out."""
+        if energy_j < 0:
+            raise ConfigurationError("cannot draw negative energy")
+        if energy_j > self.usable_energy_j:
+            self.voltage = self.v_off
+            return False
+        new_sq = self.voltage ** 2 - 2.0 * energy_j / self.capacitance_f
+        self.voltage = math.sqrt(max(new_sq, self.v_off ** 2))
+        return True
+
+    def charge(self, energy_j: float) -> None:
+        """Add harvested energy, clipping at ``v_max``."""
+        if energy_j < 0:
+            raise ConfigurationError("cannot charge negative energy")
+        new_sq = self.voltage ** 2 + 2.0 * energy_j / self.capacitance_f
+        self.voltage = min(math.sqrt(new_sq), self.v_max)
+
+    def reset(self) -> None:
+        """Fresh start at the turn-on voltage."""
+        self.voltage = self.v_on

@@ -1,0 +1,180 @@
+"""Harvested-power traces.
+
+The paper drives its board from a SIGLENT function generator through a
+100 uF capacitor — i.e. a square-wave power profile.  This module provides
+that trace plus constant, stochastic RF-like, and solar-like profiles so
+experiments can stress different intermittency patterns.
+
+A trace answers one question: how much energy arrives in a window
+``[t, t + dt)``.  Closed forms are used where available; the stochastic
+trace pre-generates piecewise-constant segments from a seed so runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class PowerTrace:
+    """Interface: instantaneous power and windowed energy."""
+
+    def power(self, t: float) -> float:
+        """Harvested power (W) at absolute time ``t`` (s)."""
+        raise NotImplementedError
+
+    def energy(self, t: float, dt: float) -> float:
+        """Energy (J) harvested during ``[t, t + dt)``.
+
+        Default implementation integrates numerically; subclasses override
+        with closed forms when possible.
+        """
+        if dt < 0:
+            raise ConfigurationError("dt must be non-negative")
+        if dt == 0:
+            return 0.0
+        steps = max(8, min(4096, int(dt / 1e-4)))
+        ts = np.linspace(t, t + dt, steps + 1)
+        ps = np.array([self.power(float(u)) for u in ts])
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        return float(trapezoid(ps, ts))
+
+
+class ConstantTrace(PowerTrace):
+    """Steady harvest (e.g. a strong thermal gradient)."""
+
+    def __init__(self, power_w: float) -> None:
+        if power_w < 0:
+            raise ConfigurationError("power must be non-negative")
+        self.power_w = power_w
+
+    def power(self, t: float) -> float:
+        return self.power_w
+
+    def energy(self, t: float, dt: float) -> float:
+        if dt < 0:
+            raise ConfigurationError("dt must be non-negative")
+        return self.power_w * dt
+
+
+class SquareWaveTrace(PowerTrace):
+    """The function-generator profile of the paper's testbed.
+
+    ``power_w`` during the on-phase of each ``period_s`` window (first
+    ``duty`` fraction), zero otherwise.
+    """
+
+    def __init__(self, power_w: float, period_s: float, duty: float = 0.5) -> None:
+        if power_w < 0 or period_s <= 0 or not 0.0 < duty <= 1.0:
+            raise ConfigurationError(
+                f"invalid square wave (power={power_w}, period={period_s}, "
+                f"duty={duty})"
+            )
+        self.power_w = power_w
+        self.period_s = period_s
+        self.duty = duty
+
+    def power(self, t: float) -> float:
+        phase = math.fmod(t, self.period_s)
+        if phase < 0:
+            phase += self.period_s
+        return self.power_w if phase < self.duty * self.period_s else 0.0
+
+    def energy(self, t: float, dt: float) -> float:
+        if dt < 0:
+            raise ConfigurationError("dt must be non-negative")
+        # Integrate the on-time overlap exactly, period by period.
+        on_len = self.duty * self.period_s
+        total_on = 0.0
+        start = t
+        end = t + dt
+        first_period = math.floor(start / self.period_s)
+        last_period = math.floor(end / self.period_s)
+        for k in range(int(first_period), int(last_period) + 1):
+            p0 = k * self.period_s
+            lo = max(start, p0)
+            hi = min(end, p0 + on_len)
+            if hi > lo:
+                total_on += hi - lo
+        return self.power_w * total_on
+
+
+class StochasticRFTrace(PowerTrace):
+    """Bursty ambient-RF-like harvesting: exponential on/off segments."""
+
+    def __init__(
+        self,
+        mean_power_w: float,
+        mean_on_s: float = 0.05,
+        mean_off_s: float = 0.05,
+        seed: int = 0,
+        horizon_s: float = 600.0,
+    ) -> None:
+        if mean_power_w < 0 or mean_on_s <= 0 or mean_off_s <= 0 or horizon_s <= 0:
+            raise ConfigurationError("invalid stochastic trace parameters")
+        self.mean_power_w = mean_power_w
+        rng = np.random.default_rng(seed)
+        # Pre-generate (start, end, power) segments covering the horizon.
+        self._segments: List[Tuple[float, float, float]] = []
+        t = 0.0
+        on = True
+        while t < horizon_s:
+            dur = float(rng.exponential(mean_on_s if on else mean_off_s))
+            dur = max(dur, 1e-4)
+            power = (
+                float(rng.uniform(0.5, 1.5)) * mean_power_w * (mean_on_s + mean_off_s)
+                / mean_on_s
+                if on
+                else 0.0
+            )
+            self._segments.append((t, t + dur, power))
+            t += dur
+            on = not on
+        self.horizon_s = t
+
+    def power(self, t: float) -> float:
+        t = math.fmod(t, self.horizon_s)
+        for start, end, p in self._segments:
+            if start <= t < end:
+                return p
+        return 0.0
+
+    def energy(self, t: float, dt: float) -> float:
+        if dt < 0:
+            raise ConfigurationError("dt must be non-negative")
+        total = 0.0
+        remaining = dt
+        cur = t
+        while remaining > 1e-12:
+            base = math.floor(cur / self.horizon_s) * self.horizon_s
+            local = cur - base
+            advanced = False
+            for start, end, p in self._segments:
+                if start <= local < end:
+                    take = min(end - local, remaining)
+                    total += p * take
+                    cur += take
+                    remaining -= take
+                    advanced = True
+                    break
+            if not advanced:  # numeric edge: snap to next segment
+                cur = base + self.horizon_s
+        return total
+
+
+class SolarTrace(PowerTrace):
+    """Slow sinusoidal profile (indoor-light/solar style), clipped at zero."""
+
+    def __init__(self, peak_power_w: float, period_s: float = 60.0) -> None:
+        if peak_power_w < 0 or period_s <= 0:
+            raise ConfigurationError("invalid solar trace parameters")
+        self.peak_power_w = peak_power_w
+        self.period_s = period_s
+
+    def power(self, t: float) -> float:
+        return max(0.0, self.peak_power_w * math.sin(2 * math.pi * t / self.period_s))

@@ -1,0 +1,88 @@
+"""RAD — resource-aware structured DNN training framework.
+
+The four components of Section III-A: architecture search
+(:mod:`repro.rad.search`), compression (BCM via :class:`repro.nn.BCMDense`
+plus ADMM structured pruning in :mod:`repro.rad.admm`), normalization
+(:mod:`repro.rad.normalize`), and fixed-point calculation
+(:mod:`repro.rad.quantize`), glued together by :func:`repro.rad.run_rad`.
+"""
+
+from repro.rad.admm import ADMMPruner, PruneSpec
+from repro.rad.normalize import calibrate_ranges, equalize_ranges, layer_output_peaks
+from repro.rad.package import MAGIC, load_quantized, save_quantized
+from repro.rad.pipeline import PAPER_PRUNE, PAPER_PRUNE_CONV, RADConfig, RADResult, run_rad
+from repro.rad.prune import channel_mask, filter_mask, project, sparsity, structured_mask
+from repro.rad.quantize import (
+    BCM_MODES,
+    QuantBCM,
+    QuantConv,
+    QuantDense,
+    QuantFlatten,
+    QuantPool,
+    QuantReLU,
+    QuantizedModel,
+    quantize_model,
+)
+from repro.rad.resources import DeviceBudget, ModelResources, analyze, check_fits
+from repro.rad.search import (
+    Candidate,
+    CandidateResult,
+    SearchResult,
+    enumerate_block_candidates,
+    search,
+)
+from repro.rad.zoo import (
+    INPUT_SHAPES,
+    NUM_CLASSES,
+    PAPER_BLOCKS,
+    build_har,
+    build_mnist,
+    build_model,
+    build_okg,
+)
+
+__all__ = [
+    "ADMMPruner",
+    "MAGIC",
+    "load_quantized",
+    "save_quantized",
+    "BCM_MODES",
+    "Candidate",
+    "CandidateResult",
+    "DeviceBudget",
+    "INPUT_SHAPES",
+    "ModelResources",
+    "NUM_CLASSES",
+    "PAPER_BLOCKS",
+    "PAPER_PRUNE",
+    "PAPER_PRUNE_CONV",
+    "PruneSpec",
+    "QuantBCM",
+    "QuantConv",
+    "QuantDense",
+    "QuantFlatten",
+    "QuantPool",
+    "QuantReLU",
+    "QuantizedModel",
+    "RADConfig",
+    "RADResult",
+    "SearchResult",
+    "analyze",
+    "build_har",
+    "build_mnist",
+    "build_model",
+    "build_okg",
+    "calibrate_ranges",
+    "channel_mask",
+    "check_fits",
+    "enumerate_block_candidates",
+    "equalize_ranges",
+    "filter_mask",
+    "layer_output_peaks",
+    "project",
+    "quantize_model",
+    "run_rad",
+    "search",
+    "sparsity",
+    "structured_mask",
+]

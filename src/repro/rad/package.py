@@ -1,0 +1,185 @@
+"""Deployment-image serialization for quantized models.
+
+RAD runs offline; the artifact it ships to the device is the quantized
+model — weight tensors on their fixed-point grids plus the per-layer
+scale metadata ACE needs.  This module serializes a
+:class:`~repro.rad.quantize.QuantizedModel` to a single ``.npz`` file
+(the simulator's stand-in for the FRAM image a flasher would write) and
+loads it back bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rad.quantize import (
+    QuantBCM,
+    QuantConv,
+    QuantDense,
+    QuantFlatten,
+    QuantPool,
+    QuantReLU,
+    QuantizedModel,
+)
+
+#: Format identifier stored in every image.
+MAGIC = "repro-quantized-v1"
+
+
+def _layer_meta(layer) -> dict:
+    """JSON-serializable metadata for one layer (arrays stored separately)."""
+    if isinstance(layer, QuantConv):
+        return {
+            "kind": "conv",
+            "w_frac": layer.w_frac,
+            "in_frac": layer.in_frac,
+            "out_frac": layer.out_frac,
+            "stride": layer.stride,
+            "in_shape": list(layer.in_shape),
+            "out_shape": list(layer.out_shape),
+            "pruned_filters": layer.pruned_filters,
+        }
+    if isinstance(layer, QuantDense):
+        return {
+            "kind": "dense",
+            "w_frac": layer.w_frac,
+            "in_frac": layer.in_frac,
+            "out_frac": layer.out_frac,
+            "in_shape": list(layer.in_shape),
+            "out_shape": list(layer.out_shape),
+        }
+    if isinstance(layer, QuantBCM):
+        return {
+            "kind": "bcm",
+            "w_exp": layer.w_exp,
+            "in_frac": layer.in_frac,
+            "out_frac": layer.out_frac,
+            "block_size": layer.block_size,
+            "in_shape": list(layer.in_shape),
+            "out_shape": list(layer.out_shape),
+            "mode": layer.mode,
+        }
+    if isinstance(layer, QuantReLU):
+        return {"kind": "relu", "in_shape": list(layer.in_shape),
+                "out_shape": list(layer.out_shape)}
+    if isinstance(layer, QuantPool):
+        return {"kind": "pool", "pool_size": list(layer.pool_size),
+                "in_shape": list(layer.in_shape),
+                "out_shape": list(layer.out_shape)}
+    if isinstance(layer, QuantFlatten):
+        return {"kind": "flatten", "in_shape": list(layer.in_shape),
+                "out_shape": list(layer.out_shape)}
+    raise ConfigurationError(f"cannot serialize layer {type(layer).__name__}")
+
+
+def save_quantized(model: QuantizedModel, path: str) -> None:
+    """Write a deployment image to ``path`` (.npz)."""
+    arrays = {}
+    metas: List[dict] = []
+    for i, layer in enumerate(model.layers):
+        metas.append(_layer_meta(layer))
+        if isinstance(layer, QuantConv):
+            arrays[f"l{i}_weight"] = layer.weight
+            arrays[f"l{i}_bias"] = layer.bias
+        elif isinstance(layer, QuantDense):
+            arrays[f"l{i}_weight"] = layer.weight
+            arrays[f"l{i}_bias"] = layer.bias
+        elif isinstance(layer, QuantBCM):
+            arrays[f"l{i}_spec_re"] = layer.spec_re
+            arrays[f"l{i}_spec_im"] = layer.spec_im
+            arrays[f"l{i}_bias"] = layer.bias
+    header = {
+        "magic": MAGIC,
+        "name": model.name,
+        "input_frac": model.input_frac,
+        "input_shape": list(model.input_shape),
+        "num_classes": model.num_classes,
+        "layers": metas,
+    }
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+
+
+def load_quantized(path: str) -> QuantizedModel:
+    """Load a deployment image written by :func:`save_quantized`."""
+    with np.load(path) as archive:
+        if "header" not in archive:
+            raise ConfigurationError(f"{path} is not a quantized-model image")
+        header = json.loads(bytes(archive["header"].tobytes()).decode("utf-8"))
+        if header.get("magic") != MAGIC:
+            raise ConfigurationError(
+                f"unsupported image format {header.get('magic')!r}"
+            )
+        layers = []
+        for i, meta in enumerate(header["layers"]):
+            kind = meta["kind"]
+            if kind == "conv":
+                layers.append(
+                    QuantConv(
+                        weight=archive[f"l{i}_weight"],
+                        bias=archive[f"l{i}_bias"],
+                        w_frac=meta["w_frac"],
+                        in_frac=meta["in_frac"],
+                        out_frac=meta["out_frac"],
+                        stride=meta["stride"],
+                        in_shape=tuple(meta["in_shape"]),
+                        out_shape=tuple(meta["out_shape"]),
+                        pruned_filters=meta["pruned_filters"],
+                    )
+                )
+            elif kind == "dense":
+                layers.append(
+                    QuantDense(
+                        weight=archive[f"l{i}_weight"],
+                        bias=archive[f"l{i}_bias"],
+                        w_frac=meta["w_frac"],
+                        in_frac=meta["in_frac"],
+                        out_frac=meta["out_frac"],
+                        in_shape=tuple(meta["in_shape"]),
+                        out_shape=tuple(meta["out_shape"]),
+                    )
+                )
+            elif kind == "bcm":
+                layers.append(
+                    QuantBCM(
+                        spec_re=archive[f"l{i}_spec_re"],
+                        spec_im=archive[f"l{i}_spec_im"],
+                        w_exp=meta["w_exp"],
+                        bias=archive[f"l{i}_bias"],
+                        in_frac=meta["in_frac"],
+                        out_frac=meta["out_frac"],
+                        block_size=meta["block_size"],
+                        in_shape=tuple(meta["in_shape"]),
+                        out_shape=tuple(meta["out_shape"]),
+                        mode=meta["mode"],
+                    )
+                )
+            elif kind == "relu":
+                layers.append(QuantReLU(in_shape=tuple(meta["in_shape"]),
+                                        out_shape=tuple(meta["out_shape"])))
+            elif kind == "pool":
+                layers.append(
+                    QuantPool(
+                        pool_size=tuple(meta["pool_size"]),
+                        in_shape=tuple(meta["in_shape"]),
+                        out_shape=tuple(meta["out_shape"]),
+                    )
+                )
+            elif kind == "flatten":
+                layers.append(QuantFlatten(in_shape=tuple(meta["in_shape"]),
+                                           out_shape=tuple(meta["out_shape"])))
+            else:
+                raise ConfigurationError(f"unknown layer kind {kind!r}")
+        return QuantizedModel(
+            layers=layers,
+            input_frac=header["input_frac"],
+            input_shape=tuple(header["input_shape"]),
+            num_classes=header["num_classes"],
+            name=header["name"],
+        )

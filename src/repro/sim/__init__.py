@@ -1,0 +1,18 @@
+"""Intermittent-execution simulator: atoms, machine, results."""
+
+from repro.sim.atoms import Atom, total_cycles, validate_program
+from repro.sim.machine import IntermittentMachine
+from repro.sim.results import RunResult
+from repro.sim.runtime import InferenceRuntime
+from repro.sim.session import SensingSession, SessionStats
+
+__all__ = [
+    "Atom",
+    "InferenceRuntime",
+    "IntermittentMachine",
+    "RunResult",
+    "SensingSession",
+    "SessionStats",
+    "total_cycles",
+    "validate_program",
+]

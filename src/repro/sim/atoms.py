@@ -1,0 +1,96 @@
+"""Atoms: the unit of simulated execution.
+
+A runtime compiles one inference into a sequence of atoms — indivisible
+(or, for element-wise loops, iterable) chunks of work with a cycle cost,
+an owning component (cpu / lea / dma), memory traffic, and *progress
+semantics*:
+
+* ``commit``          — after this atom completes, the runtime records its
+  progress in FRAM (paying ``commit_words`` of write traffic).  SONIC
+  commits every loop iteration; TAILS and FLEX commit after vector ops;
+  BASE and plain ACE never commit.
+* ``volatile_words``  — live SRAM/LEA state a resumer would need *after*
+  this atom.  A commit only creates a durable resume point when this is
+  zero (the data already lives in FRAM) or when a snapshot is taken
+  (FLEX's voltage-monitor-triggered checkpoint writes these words to
+  FRAM).  This is exactly the TAILS-vs-FLEX distinction of Figure 6: the
+  mid-pipeline FFT arrays ``x, w, y, y'`` are volatile, so TAILS's
+  loop-index commit cannot resume there and rolls back to the DMA step.
+* ``divisible``       — an atom representing ``iterations`` identical
+  loop iterations that may be split across power cycles (with per-
+  iteration commit if ``commit`` is set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+from repro.errors import ConfigurationError
+
+COMPONENTS = ("cpu", "lea", "dma")
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One schedulable unit of on-device work."""
+
+    label: str
+    layer: int
+    component: str
+    cycles: float
+    fram_reads: int = 0  # words
+    fram_writes: int = 0  # words
+    sram_accesses: int = 0  # words
+    purpose: str = "compute"  # "compute" or "data" (movement)
+    commit: bool = False
+    commit_words: int = 0
+    volatile_words: int = 0
+    divisible: bool = False
+    iterations: int = 1
+
+    def __post_init__(self) -> None:
+        if self.component not in COMPONENTS:
+            raise ConfigurationError(f"unknown component {self.component!r}")
+        if self.cycles < 0:
+            raise ConfigurationError("cycles must be non-negative")
+        if self.iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        if self.divisible and self.iterations < 2:
+            raise ConfigurationError("divisible atoms need iterations >= 2")
+        if min(self.fram_reads, self.fram_writes, self.sram_accesses,
+               self.commit_words, self.volatile_words) < 0:
+            raise ConfigurationError("traffic counts must be non-negative")
+
+    def scaled(self, fraction: float) -> "Atom":
+        """A proportional slice of this atom (for divisible execution)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+        return replace(
+            self,
+            cycles=self.cycles * fraction,
+            fram_reads=int(round(self.fram_reads * fraction)),
+            fram_writes=int(round(self.fram_writes * fraction)),
+            sram_accesses=int(round(self.sram_accesses * fraction)),
+            divisible=False,
+            iterations=1,
+        )
+
+
+def total_cycles(atoms: List[Atom]) -> float:
+    """Sum of compute cycles over a program."""
+    return sum(a.cycles for a in atoms)
+
+
+def validate_program(atoms: List[Atom]) -> None:
+    """Sanity-check a compiled program (monotone layer ids, non-empty)."""
+    if not atoms:
+        raise ConfigurationError("empty atom program")
+    last_layer = -1
+    for atom in atoms:
+        if atom.layer < last_layer:
+            raise ConfigurationError(
+                f"atom {atom.label!r} regresses to layer {atom.layer} "
+                f"after layer {last_layer}"
+            )
+        last_layer = max(last_layer, atom.layer)

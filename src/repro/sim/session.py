@@ -1,0 +1,121 @@
+"""Multi-inference sensing sessions.
+
+Real deployments do not run one inference: a sensor wakes up, classifies,
+sleeps, and repeats, all on the same harvested supply.  A
+:class:`SensingSession` runs a stream of samples back-to-back through one
+runtime on one device, carrying the capacitor state (and wall clock)
+across inferences, and reports throughput/energy statistics — the
+deployment-level view of Figure 7's per-inference numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.power.monitor import VoltageMonitor
+from repro.sim.machine import IntermittentMachine
+from repro.sim.results import RunResult
+from repro.sim.runtime import InferenceRuntime
+
+
+@dataclass
+class SessionStats:
+    """Aggregate statistics of a sensing session."""
+
+    runtime: str
+    results: List[RunResult] = field(default_factory=list)
+
+    @property
+    def inferences(self) -> int:
+        return len(self.results)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.results if r.completed)
+
+    @property
+    def dnf(self) -> int:
+        return self.inferences - self.completed
+
+    @property
+    def total_wall_time_s(self) -> float:
+        return sum(r.wall_time_s for r in self.results)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(r.energy_j for r in self.results)
+
+    @property
+    def total_reboots(self) -> int:
+        return sum(r.reboots for r in self.results)
+
+    @property
+    def throughput_hz(self) -> float:
+        """Completed inferences per second of wall-clock time."""
+        if self.total_wall_time_s <= 0:
+            return 0.0
+        return self.completed / self.total_wall_time_s
+
+    def accuracy(self, labels: Sequence[int]) -> float:
+        """Fraction of completed inferences predicting the true label."""
+        if len(labels) != self.inferences:
+            raise ConfigurationError(
+                f"{len(labels)} labels for {self.inferences} inferences"
+            )
+        hits = 0
+        for r, y in zip(self.results, labels):
+            if r.completed and r.predicted_class == int(y):
+                hits += 1
+        if self.completed == 0:
+            return 0.0
+        return hits / self.completed
+
+    def summary(self) -> str:
+        return (
+            f"{self.runtime}: {self.completed}/{self.inferences} inferences, "
+            f"{self.total_wall_time_s:.2f} s wall, "
+            f"{self.total_energy_j * 1e3:.2f} mJ, "
+            f"{self.total_reboots} power failures, "
+            f"{self.throughput_hz:.2f} inf/s"
+        )
+
+
+class SensingSession:
+    """Run a stream of samples through one runtime on a shared supply."""
+
+    def __init__(
+        self,
+        device,
+        runtime: InferenceRuntime,
+        *,
+        monitor: Optional[VoltageMonitor] = None,
+        stall_limit: int = 6,
+        give_up_after_dnf: int = 2,
+    ) -> None:
+        if give_up_after_dnf < 1:
+            raise ConfigurationError("give_up_after_dnf must be >= 1")
+        self.machine = IntermittentMachine(
+            device, runtime, monitor=monitor, stall_limit=stall_limit
+        )
+        self.runtime = runtime
+        self.give_up_after_dnf = give_up_after_dnf
+
+    def run(self, samples: np.ndarray) -> SessionStats:
+        """Process ``samples`` sequentially; stops early after repeated
+        DNFs (a dead supply will never recover within the session)."""
+        stats = SessionStats(runtime=self.runtime.name)
+        consecutive_dnf = 0
+        for x in samples:
+            result = self.machine.run(x)
+            stats.results.append(result)
+            if result.completed:
+                consecutive_dnf = 0
+            else:
+                consecutive_dnf += 1
+                if consecutive_dnf >= self.give_up_after_dnf:
+                    break
+        return stats

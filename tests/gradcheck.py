@@ -1,0 +1,53 @@
+"""Shared numerical gradient-check helper for layer tests."""
+
+import numpy as np
+
+
+def numerical_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar-valued ``f`` at array ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = f(x)
+        flat[i] = orig - eps
+        lo = f(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_layer_gradients(layer, x, *, atol=1e-5, rtol=1e-4, seed=0):
+    """Verify a layer's input and parameter gradients against finite
+    differences, using a fixed random projection as the scalar loss."""
+    rng = np.random.default_rng(seed)
+    y = layer.forward(np.array(x))
+    proj = rng.normal(size=y.shape)
+
+    def loss_of_input(xv):
+        return float((layer.forward(xv) * proj).sum())
+
+    for p in layer.parameters():
+        p.zero_grad()
+    layer.forward(np.array(x))
+    grad_in = layer.backward(proj)
+
+    num_grad_in = numerical_grad(loss_of_input, np.array(x))
+    np.testing.assert_allclose(grad_in, num_grad_in, atol=atol, rtol=rtol)
+
+    for p in layer.parameters():
+        def loss_of_param(pv, p=p):
+            old = p.data.copy()
+            p.data[...] = pv
+            val = float((layer.forward(np.array(x)) * proj).sum())
+            p.data[...] = old
+            return val
+
+        num_grad = numerical_grad(loss_of_param, p.data.copy())
+        np.testing.assert_allclose(
+            p.grad, num_grad, atol=atol, rtol=rtol,
+            err_msg=f"parameter {p.name} gradient mismatch",
+        )

@@ -1,0 +1,188 @@
+"""Calibration tests: the simulated testbed must reproduce the paper's
+evaluation *shapes* (who wins, roughly by how much, who fails).
+
+These are the contract between the cost model (repro.hw.constants) and
+the claims of Figure 7 / Section IV.  Bands are deliberately generous —
+the paper's absolute numbers come from physical hardware — but directional
+results (orderings, DNFs, overhead scale) are pinned tightly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    RUNTIME_ORDER,
+    TASKS,
+    make_dataset,
+    paper_harvester,
+    prepare_quantized,
+    run_inference,
+)
+
+
+@pytest.fixture(scope="module")
+def continuous_results():
+    out = {}
+    for task in TASKS:
+        qmodel = prepare_quantized(task, seed=0)
+        x = make_dataset(task, 16, seed=0).x[0]
+        out[task] = {
+            name: run_inference(name, qmodel, x) for name in RUNTIME_ORDER
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def intermittent_results():
+    out = {}
+    for task in ("mnist", "har"):
+        qmodel = prepare_quantized(task, seed=0)
+        x = make_dataset(task, 16, seed=0).x[0]
+        out[task] = {
+            name: run_inference(name, qmodel, x, harvester=paper_harvester())
+            for name in RUNTIME_ORDER
+        }
+    return out
+
+
+class TestFig7aShapes:
+    """Continuous power: ACE+FLEX wins; baselines in the paper's bands."""
+
+    @pytest.mark.parametrize("task", TASKS)
+    def test_flex_is_fastest_runtime_with_intermittence_support(
+        self, continuous_results, task
+    ):
+        res = continuous_results[task]
+        flex = res["ACE+FLEX"].wall_time_s
+        for name in ("BASE", "SONIC", "TAILS"):
+            assert res[name].wall_time_s > flex
+
+    @pytest.mark.parametrize("task", TASKS)
+    def test_base_speedup_band(self, continuous_results, task):
+        """Paper: 1.7x - 5.4x across tasks."""
+        res = continuous_results[task]
+        ratio = res["BASE"].wall_time_s / res["ACE+FLEX"].wall_time_s
+        assert 1.5 <= ratio <= 8.0
+
+    @pytest.mark.parametrize("task", TASKS)
+    def test_sonic_speedup_band(self, continuous_results, task):
+        """Paper: 3.3x - 5.7x across tasks."""
+        res = continuous_results[task]
+        ratio = res["SONIC"].wall_time_s / res["ACE+FLEX"].wall_time_s
+        assert 3.0 <= ratio <= 9.0
+
+    @pytest.mark.parametrize("task", TASKS)
+    def test_tails_speedup_band(self, continuous_results, task):
+        """Paper: 2.1x - 3.3x across tasks."""
+        res = continuous_results[task]
+        ratio = res["TAILS"].wall_time_s / res["ACE+FLEX"].wall_time_s
+        assert 1.5 <= ratio <= 4.5
+
+    @pytest.mark.parametrize("task", TASKS)
+    def test_sonic_slowest(self, continuous_results, task):
+        res = continuous_results[task]
+        assert res["SONIC"].wall_time_s == max(
+            r.wall_time_s for r in res.values()
+        )
+
+    @pytest.mark.parametrize("task", TASKS)
+    def test_flex_overhead_over_ace_small(self, continuous_results, task):
+        """FLEX's logging costs only a few percent over plain ACE."""
+        res = continuous_results[task]
+        ratio = res["ACE+FLEX"].wall_time_s / res["ACE"].wall_time_s
+        assert 1.0 <= ratio <= 1.12
+
+
+class TestFig7cShapes:
+    """Energy: paper reports 6.1-10.9x vs SONIC, 3.05-5.26x vs TAILS."""
+
+    @pytest.mark.parametrize("task", TASKS)
+    def test_sonic_energy_band(self, continuous_results, task):
+        res = continuous_results[task]
+        saving = res["SONIC"].energy_j / res["ACE+FLEX"].energy_j
+        assert 5.0 <= saving <= 13.0
+
+    @pytest.mark.parametrize("task", TASKS)
+    def test_tails_energy_band(self, continuous_results, task):
+        res = continuous_results[task]
+        saving = res["TAILS"].energy_j / res["ACE+FLEX"].energy_j
+        assert 1.3 <= saving <= 6.0
+
+    @pytest.mark.parametrize("task", TASKS)
+    def test_lea_runtimes_burn_less_cpu_energy(self, continuous_results, task):
+        res = continuous_results[task]
+        assert (
+            res["ACE+FLEX"].energy_by_component.get("cpu", 0.0)
+            < res["SONIC"].energy_by_component.get("cpu", 0.0)
+        )
+
+
+class TestFig7bShapes:
+    """Intermittent power: the completion/DNF pattern of the paper."""
+
+    @pytest.mark.parametrize("task", ["mnist", "har"])
+    def test_base_and_ace_dnf(self, intermittent_results, task):
+        res = intermittent_results[task]
+        assert not res["BASE"].completed
+        assert not res["ACE"].completed
+
+    @pytest.mark.parametrize("task", ["mnist", "har"])
+    def test_intermittence_safe_runtimes_complete(self, intermittent_results, task):
+        res = intermittent_results[task]
+        for name in ("SONIC", "TAILS", "ACE+FLEX"):
+            assert res[name].completed, f"{name} failed: {res[name].dnf_reason}"
+
+    @pytest.mark.parametrize("task", ["mnist", "har"])
+    def test_flex_fastest_under_intermittent_power(self, intermittent_results, task):
+        res = intermittent_results[task]
+        flex = res["ACE+FLEX"].wall_time_s
+        assert res["SONIC"].wall_time_s > flex
+        assert res["TAILS"].wall_time_s > flex
+
+    @pytest.mark.parametrize("task", ["mnist", "har"])
+    def test_flex_intermittent_overhead_small(self, intermittent_results, task):
+        """Paper: 1-2% latency/energy increase vs continuous power."""
+        inter = intermittent_results[task]["ACE+FLEX"]
+        qmodel = prepare_quantized(task, seed=0)
+        x = make_dataset(task, 16, seed=0).x[0]
+        cont = run_inference("ACE+FLEX", qmodel, x)
+        assert inter.active_time_s <= cont.active_time_s * 1.10
+        assert inter.energy_j <= cont.energy_j * 1.10
+
+    @pytest.mark.parametrize("task", ["mnist", "har"])
+    def test_correct_inference_result(self, intermittent_results, task):
+        """Intermittent execution must produce the same class as
+        continuous execution (correctness under power failures)."""
+        res = intermittent_results[task]
+        qmodel = prepare_quantized(task, seed=0)
+        x = make_dataset(task, 16, seed=0).x[0]
+        expected = int(np.argmax(qmodel.forward(x[None])[0]))
+        for name in ("SONIC", "TAILS", "ACE+FLEX"):
+            assert res[name].predicted_class == expected
+
+    @pytest.mark.parametrize("task", ["mnist", "har"])
+    def test_tails_wastes_more_work_than_flex(self, intermittent_results, task):
+        """Figure 6: TAILS rolls back in-flight vector pipelines; FLEX
+        resumes from state bits/snapshots."""
+        res = intermittent_results[task]
+        if res["TAILS"].reboots == 0:
+            pytest.skip("supply never interrupted TAILS on this task")
+        per_reboot_tails = res["TAILS"].wasted_cycles / max(1, res["TAILS"].reboots)
+        per_reboot_flex = res["ACE+FLEX"].wasted_cycles / max(1, res["ACE+FLEX"].reboots)
+        assert per_reboot_flex <= per_reboot_tails + 1e-9
+
+
+class TestCheckpointCosts:
+    def test_checkpoint_overhead_band(self, intermittent_results):
+        """Paper: total checkpoint/restore overhead ~1% (up to ~5% here
+        because our vector ops are cheaper in absolute terms)."""
+        for task, res in intermittent_results.items():
+            overhead = res["ACE+FLEX"].checkpoint_overhead
+            assert 0.0 < overhead < 0.08
+
+    def test_per_checkpoint_cost_below_paper_bound(self):
+        from repro.experiments import worst_case_checkpoint_mj, PAPER_MAX_COST_MJ
+
+        for task in TASKS:
+            qmodel = prepare_quantized(task, seed=0)
+            assert worst_case_checkpoint_mj(qmodel) <= PAPER_MAX_COST_MJ

@@ -1,0 +1,158 @@
+"""Tests for the experiment drivers (tables, figures, ablations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    BLOCK_SIZES,
+    PAPER_TABLE1,
+    RUNTIME_ORDER,
+    format_table,
+    make_dataset,
+    prepare_quantized,
+    ratio,
+    render_buffer_ablation,
+    render_checkpoint_overhead,
+    render_dma_ablation,
+    render_fig7a,
+    render_fig7b,
+    render_fig7c,
+    render_fig8,
+    render_overflow_ablation,
+    render_table1,
+    run_buffer_ablation,
+    run_checkpoint_overhead,
+    run_dma_ablation,
+    run_fig7,
+    run_fig8,
+    run_overflow_ablation,
+    run_table1,
+)
+from repro.errors import ConfigurationError
+
+
+class TestReporting:
+    def test_format_table_basic(self):
+        out = format_table(["a", "bb"], [(1, 2.5), ("x", "y")], title="T")
+        assert "T" in out and "a" in out and "2.5" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a"], [(1, 2)])
+
+    def test_ratio(self):
+        assert ratio(3.0, 1.5) == "2.00x"
+        assert ratio(1.0, 0.0) == "inf"
+
+
+class TestTable1:
+    def test_matches_paper_exactly(self):
+        rows = {r.block_size: r for r in run_table1()}
+        for block, (comp_bytes, reduction) in PAPER_TABLE1.items():
+            assert rows[block].compressed_bytes == comp_bytes
+            assert rows[block].storage_reduction == pytest.approx(
+                reduction, abs=1e-3
+            )
+
+    def test_render_contains_all_blocks(self):
+        text = render_table1()
+        for block in PAPER_TABLE1:
+            assert str(block) in text
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def mnist_result(self):
+        return run_fig7("mnist", seed=0)
+
+    def test_all_runtimes_present(self, mnist_result):
+        assert set(mnist_result.continuous) == set(RUNTIME_ORDER)
+        assert set(mnist_result.intermittent) == set(RUNTIME_ORDER)
+
+    def test_speedup_helpers(self, mnist_result):
+        assert mnist_result.speedup_continuous("SONIC") > 1.0
+        assert mnist_result.speedup_intermittent("SONIC") > 1.0
+        assert mnist_result.energy_saving("SONIC") > 1.0
+
+    def test_dnf_speedup_is_none(self, mnist_result):
+        assert mnist_result.speedup_intermittent("BASE") is None
+
+    def test_renderers(self, mnist_result):
+        results = {"mnist": mnist_result}
+        assert "DNF" in render_fig7b(results)
+        assert "ACE+FLEX" in render_fig7a(results)
+        assert "LEA" in render_fig7c(results)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_fig8(seed=0)
+
+    def test_all_variants(self, points):
+        assert set(points) == set(BLOCK_SIZES)
+
+    def test_latency_monotone_in_block_size(self, points):
+        """Bigger BCM blocks => faster FC1 (the paper's Figure 8 trend)."""
+        lat = [points[b].latency_s for b in (None, 32, 64, 128)]
+        assert lat == sorted(lat, reverse=True)
+
+    def test_energy_monotone_in_block_size(self, points):
+        en = [points[b].energy_j for b in (None, 32, 64, 128)]
+        assert en == sorted(en, reverse=True)
+
+    def test_weights_shrink(self, points):
+        assert points[128].weight_bytes < points[32].weight_bytes < points[None].weight_bytes
+
+    def test_render(self, points):
+        assert "BCM 128" in render_fig8(points)
+
+
+class TestCheckpointOverheadExperiment:
+    def test_rows_and_bounds(self):
+        rows = run_checkpoint_overhead(("mnist",), seed=0)
+        row = rows["mnist"]
+        assert row.completed
+        assert row.worst_checkpoint_mj <= 0.033
+        assert 0.0 < row.total_overhead < 0.10
+        assert "MNIST" in render_checkpoint_overhead(rows)
+
+
+class TestAblations:
+    def test_overflow_ablation_story(self):
+        rows = run_overflow_ablation("mnist", seed=0, n_samples=8)
+        assert rows["stage"].overflow_events == 0
+        assert rows["none"].overflow_events > 0
+        assert rows["none"].max_rel_error > rows["stage"].max_rel_error
+        assert "A1" in render_overflow_ablation(rows)
+
+    def test_buffer_ablation(self):
+        rows = run_buffer_ablation(("mnist", "okg"), seed=0)
+        for row in rows.values():
+            assert row.circular_bytes <= row.per_layer_bytes
+            assert row.saving > 0.2
+        assert "Circular" in render_buffer_ablation(rows)
+
+    def test_dma_ablation(self):
+        rows = run_dma_ablation(("mnist",), seed=0)
+        row = rows["mnist"]
+        assert row.time_saving > 1.0  # DMA must beat CPU copies
+        assert row.energy_saving > 1.0
+        assert "DMA" in render_dma_ablation(rows)
+
+
+class TestCommonHelpers:
+    def test_prepare_quantized_variants(self):
+        comp = prepare_quantized("mnist", seed=0)
+        dense = prepare_quantized("mnist", compressed=False, seed=0)
+        assert comp.weight_bytes < dense.weight_bytes
+
+    def test_unknown_task(self):
+        with pytest.raises(ConfigurationError):
+            make_dataset("imagenet", 10)
+
+    def test_unknown_runtime(self):
+        from repro.experiments import make_runtime
+
+        with pytest.raises(ConfigurationError):
+            make_runtime("ZEUS", prepare_quantized("mnist"))

@@ -1,0 +1,72 @@
+"""Tests for validation tracking and early stopping in fit()."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import Dense, ReLU, SGD, Sequential, evaluate_accuracy, fit
+
+
+def blobs(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4))
+    y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(int)
+    return x, y
+
+
+class TestValidationTracking:
+    def test_val_history_populated(self):
+        x, y = blobs(160, seed=1)
+        model = Sequential([Dense(4, 8, rng=np.random.default_rng(1)), ReLU(),
+                            Dense(8, 2, rng=np.random.default_rng(2))])
+        val_hist = []
+        fit(model, x[:120], y[:120], epochs=5, batch_size=16,
+            x_val=x[120:], y_val=y[120:], val_history=val_hist,
+            rng=np.random.default_rng(3))
+        assert len(val_hist) == 5
+        assert all(0.0 <= v <= 1.0 for v in val_hist)
+        assert val_hist[-1] > 0.7  # it actually learns
+
+    def test_no_val_no_history(self):
+        x, y = blobs(64, seed=2)
+        model = Sequential([Dense(4, 2, rng=np.random.default_rng(4))])
+        hist = fit(model, x, y, epochs=3, batch_size=16,
+                   rng=np.random.default_rng(5))
+        assert len(hist) == 3
+
+
+class TestEarlyStopping:
+    def test_stops_early_when_stale(self):
+        x, y = blobs(160, seed=3)
+        model = Sequential([Dense(4, 8, rng=np.random.default_rng(6)), ReLU(),
+                            Dense(8, 2, rng=np.random.default_rng(7))])
+        val_hist = []
+        hist = fit(model, x[:120], y[:120], epochs=50, batch_size=16,
+                   optimizer=SGD(model.parameters(), lr=0.2, momentum=0.9),
+                   x_val=x[120:], y_val=y[120:], patience=3,
+                   val_history=val_hist, rng=np.random.default_rng(8))
+        assert len(hist) < 50  # converges and stalls well before 50 epochs
+
+    def test_restores_best_weights(self):
+        x, y = blobs(160, seed=4)
+        model = Sequential([Dense(4, 8, rng=np.random.default_rng(9)), ReLU(),
+                            Dense(8, 2, rng=np.random.default_rng(10))])
+        val_hist = []
+        fit(model, x[:120], y[:120], epochs=30, batch_size=16,
+            optimizer=SGD(model.parameters(), lr=0.3, momentum=0.9),
+            x_val=x[120:], y_val=y[120:], patience=2,
+            val_history=val_hist, rng=np.random.default_rng(11))
+        final_acc = evaluate_accuracy(model, x[120:], y[120:])
+        assert final_acc == pytest.approx(max(val_hist), abs=1e-9)
+
+    def test_patience_requires_val(self):
+        x, y = blobs(32, seed=5)
+        model = Sequential([Dense(4, 2)])
+        with pytest.raises(ConfigurationError):
+            fit(model, x, y, epochs=2, patience=2)
+
+    def test_patience_positive(self):
+        x, y = blobs(32, seed=6)
+        model = Sequential([Dense(4, 2)])
+        with pytest.raises(ConfigurationError):
+            fit(model, x, y, epochs=2, x_val=x, y_val=y, patience=0)

@@ -1,0 +1,159 @@
+"""Tests for saturating Q15 arithmetic (LEA datapath model)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixedpoint import (
+    INT16_MAX,
+    INT16_MIN,
+    OverflowMonitor,
+    Q15_ONE,
+    complex_q15_mul,
+    float_to_q15,
+    q15_add,
+    q15_mac,
+    q15_mac_columns,
+    q15_mul,
+    q15_neg,
+    q15_shift,
+    q15_sub,
+    q15_to_float,
+    requantize_acc,
+)
+
+int16s = st.integers(min_value=INT16_MIN, max_value=INT16_MAX)
+
+
+class TestAddSub:
+    def test_add_plain(self):
+        assert q15_add(np.int16(100), np.int16(200)) == 300
+
+    def test_add_saturates_high(self):
+        assert q15_add(np.int16(INT16_MAX), np.int16(1)) == INT16_MAX
+
+    def test_sub_saturates_low(self):
+        assert q15_sub(np.int16(INT16_MIN), np.int16(1)) == INT16_MIN
+
+    def test_add_monitor_records(self):
+        mon = OverflowMonitor()
+        q15_add(np.int16(INT16_MAX), np.int16(INT16_MAX), monitor=mon)
+        assert mon.counts["q15_add"] == 1
+
+    def test_vectorized(self):
+        a = np.array([1, 2, 3], dtype=np.int16)
+        b = np.array([10, 20, 30], dtype=np.int16)
+        np.testing.assert_array_equal(q15_add(a, b), [11, 22, 33])
+
+
+class TestMul:
+    def test_half_times_half(self):
+        h = float_to_q15(0.5)
+        assert abs(float(q15_to_float(q15_mul(h, h))) - 0.25) < 1e-4
+
+    def test_minus_one_squared_saturates(self):
+        m1 = np.int16(INT16_MIN)
+        out = q15_mul(m1, m1)
+        assert out == INT16_MAX  # +1.0 is not representable
+
+    def test_mul_matches_float_product(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-0.99, 0.99, 128)
+        b = rng.uniform(-0.99, 0.99, 128)
+        got = q15_to_float(q15_mul(float_to_q15(a), float_to_q15(b)))
+        np.testing.assert_allclose(got, a * b, atol=2e-4)
+
+
+class TestNegShift:
+    def test_neg_saturates_int16_min(self):
+        assert q15_neg(np.int16(INT16_MIN)) == INT16_MAX
+
+    def test_shift_left_saturates(self):
+        assert q15_shift(np.int16(20000), 2) == INT16_MAX
+
+    def test_shift_right_rounds(self):
+        assert q15_shift(np.int16(3), -1) == 2  # 1.5 rounds to 2
+
+    def test_shift_zero_identity(self):
+        np.testing.assert_array_equal(
+            q15_shift(np.array([5, -7], dtype=np.int16), 0), [5, -7]
+        )
+
+
+class TestMac:
+    def test_dot_product_matches_float(self):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(-0.1, 0.1, 256)
+        b = rng.uniform(-0.1, 0.1, 256)
+        acc = q15_mac(float_to_q15(a), float_to_q15(b))
+        got = float(acc) / (Q15_ONE * Q15_ONE)
+        assert abs(got - float(a @ b)) < 1e-3
+
+    def test_accumulator_saturates(self):
+        mon = OverflowMonitor()
+        a = np.full(4096, INT16_MAX, dtype=np.int16)
+        acc = q15_mac(a, a, monitor=mon)
+        assert acc == 2 ** 31 - 1
+        assert mon.counts["q15_mac"] == 1
+
+    def test_mac_columns_matches_rowwise(self):
+        rng = np.random.default_rng(2)
+        mat = rng.integers(-1000, 1000, (8, 64)).astype(np.int16)
+        vec = rng.integers(-1000, 1000, 64).astype(np.int16)
+        rows = np.array([q15_mac(mat[i], vec) for i in range(8)])
+        np.testing.assert_array_equal(q15_mac_columns(mat, vec), rows)
+
+
+class TestRequantize:
+    def test_q30_to_q15(self):
+        acc = np.int64(1 << 30)  # represents 1.0 in Q30
+        assert requantize_acc(acc, 15) == INT16_MAX  # saturates at +1.0
+
+    def test_shift_negative_scales_up(self):
+        assert requantize_acc(np.int64(10), -2) == 40
+
+    def test_rounding(self):
+        assert requantize_acc(np.int64(3), 1) == 2
+
+
+class TestComplexMul:
+    def test_matches_complex_float(self):
+        rng = np.random.default_rng(3)
+        a = rng.uniform(-0.5, 0.5, 64) + 1j * rng.uniform(-0.5, 0.5, 64)
+        b = rng.uniform(-0.5, 0.5, 64) + 1j * rng.uniform(-0.5, 0.5, 64)
+        re, im = complex_q15_mul(
+            float_to_q15(a.real), float_to_q15(a.imag),
+            float_to_q15(b.real), float_to_q15(b.imag),
+        )
+        got = q15_to_float(re) + 1j * q15_to_float(im)
+        np.testing.assert_allclose(got, a * b, atol=5e-4)
+
+    def test_i_squared_is_minus_one(self):
+        one = np.int16(INT16_MAX)
+        re, im = complex_q15_mul(np.int16(0), one, np.int16(0), one)
+        assert q15_to_float(re) < -0.99
+        assert im == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(int16s, int16s)
+def test_add_never_leaves_int16(a, b):
+    out = q15_add(np.int16(a), np.int16(b))
+    assert INT16_MIN <= int(out) <= INT16_MAX
+
+
+@settings(max_examples=200, deadline=None)
+@given(int16s, int16s)
+def test_mul_never_leaves_int16_and_close_to_float(a, b):
+    out = q15_mul(np.int16(a), np.int16(b))
+    assert INT16_MIN <= int(out) <= INT16_MAX
+    expect = (a / Q15_ONE) * (b / Q15_ONE)
+    if -1.0 <= expect < 1.0 - 1e-4:
+        assert abs(float(q15_to_float(out)) - expect) <= 1.5 / Q15_ONE
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(int16s, min_size=1, max_size=128))
+def test_mac_self_dot_is_nonnegative(values):
+    arr = np.asarray(values, dtype=np.int16)
+    assert q15_mac(arr, arr) >= 0

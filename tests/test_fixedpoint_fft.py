@@ -1,0 +1,160 @@
+"""Tests for the fixed-point FFT against the float reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import (
+    OverflowMonitor,
+    Q15_ONE,
+    bit_reversal_permutation,
+    fft_reference,
+    float_to_q15,
+    q15_fft,
+    q15_ifft,
+    twiddle_q15,
+)
+
+
+def _fft_error(n, seed, scaling):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-0.9, 0.9, n)
+    re = float_to_q15(x)
+    im = np.zeros_like(re)
+    out_re, out_im, scale = q15_fft(re, im, scaling=scaling)
+    got = (out_re.astype(float) + 1j * out_im.astype(float)) * 2.0 ** scale
+    ref = fft_reference(re, im)
+    return np.max(np.abs(got - ref)) / np.max(np.abs(ref))
+
+
+class TestBitReversal:
+    def test_length_8(self):
+        np.testing.assert_array_equal(
+            bit_reversal_permutation(8), [0, 4, 2, 6, 1, 5, 3, 7]
+        )
+
+    def test_is_involution(self):
+        perm = bit_reversal_permutation(64)
+        np.testing.assert_array_equal(perm[perm], np.arange(64))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bit_reversal_permutation(12)
+
+
+class TestTwiddles:
+    def test_first_twiddle_is_one(self):
+        re, im = twiddle_q15(16)
+        assert re[0] == Q15_ONE - 1  # +1.0 saturates to 32767
+        assert im[0] == 0
+
+    def test_unit_magnitude(self):
+        re, im = twiddle_q15(64)
+        mag = np.hypot(re.astype(float), im.astype(float)) / Q15_ONE
+        np.testing.assert_allclose(mag, 1.0, atol=2e-4)
+
+
+class TestForward:
+    @pytest.mark.parametrize("n", [8, 32, 128, 256])
+    def test_scaled_fft_matches_reference(self, n):
+        assert _fft_error(n, seed=n, scaling="stage") < 0.02
+
+    def test_impulse_gives_flat_spectrum(self):
+        n = 64
+        re = np.zeros(n, dtype=np.int16)
+        re[0] = 16384  # 0.5
+        out_re, out_im, scale = q15_fft(re, np.zeros_like(re))
+        got = out_re.astype(float) * 2.0 ** scale
+        np.testing.assert_allclose(got, 16384.0, rtol=0.01)
+        assert np.max(np.abs(out_im)) <= n  # imag ~ 0 up to rounding
+
+    def test_batched_matches_loop(self):
+        rng = np.random.default_rng(7)
+        x = float_to_q15(rng.uniform(-0.5, 0.5, (5, 32)))
+        zeros = np.zeros_like(x)
+        batched_re, batched_im, _ = q15_fft(x, zeros)
+        for i in range(5):
+            row_re, row_im, _ = q15_fft(x[i], zeros[i])
+            np.testing.assert_array_equal(batched_re[i], row_re)
+            np.testing.assert_array_equal(batched_im[i], row_im)
+
+    def test_unscaled_overflows_on_energetic_input(self):
+        mon = OverflowMonitor()
+        n = 128
+        re = np.full(n, 30000, dtype=np.int16)
+        q15_fft(re, np.zeros_like(re), scaling="none", monitor=mon)
+        assert mon.counts.get("fft_stage", 0) > 0
+
+    def test_scaled_does_not_overflow_on_same_input(self):
+        mon = OverflowMonitor()
+        n = 128
+        re = np.full(n, 30000, dtype=np.int16)
+        q15_fft(re, np.zeros_like(re), scaling="stage", monitor=mon)
+        assert mon.counts.get("fft_stage", 0) == 0
+
+    def test_bad_scaling_mode(self):
+        with pytest.raises(ConfigurationError):
+            q15_fft(np.zeros(8, np.int16), np.zeros(8, np.int16), scaling="auto")
+
+
+class TestInverse:
+    @pytest.mark.parametrize("n", [16, 64, 256])
+    def test_roundtrip_recovers_signal(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.uniform(-0.9, 0.9, n)
+        re = float_to_q15(x)
+        im = np.zeros_like(re)
+        f_re, f_im, f_scale = q15_fft(re, im)
+        b_re, b_im, b_scale = q15_ifft(f_re, f_im)
+        got = b_re.astype(float) * 2.0 ** (f_scale + b_scale)
+        # After forward + inverse stage scaling the signal lives on an x/N
+        # grid, so a few LSBs of butterfly rounding cost ~n raw units each.
+        np.testing.assert_allclose(got, re.astype(float), atol=n * 6.0)
+
+    def test_ifft_of_flat_spectrum_is_impulse(self):
+        n = 32
+        re = np.full(n, 16384, dtype=np.int16)
+        out_re, out_im, scale = q15_ifft(re, np.zeros_like(re))
+        got = out_re.astype(float) * 2.0 ** scale
+        assert abs(got[0] - 16384.0) < 64
+        assert np.max(np.abs(got[1:])) < 64
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=7),
+    st.integers(min_value=0, max_value=2 ** 31 - 1),
+)
+def test_parseval_energy_ratio(log2n, seed):
+    """Scaled-FFT output energy obeys Parseval within quantization slack."""
+    n = 1 << log2n
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-0.7, 0.7, n)
+    re = float_to_q15(x)
+    out_re, out_im, scale = q15_fft(re, np.zeros_like(re))
+    spec = (out_re.astype(float) + 1j * out_im.astype(float)) * 2.0 ** scale
+    sig_energy = float(np.sum(re.astype(float) ** 2))
+    spec_energy = float(np.sum(np.abs(spec) ** 2)) / n
+    if sig_energy > n * 1000:
+        assert spec_energy == pytest.approx(sig_energy, rel=0.15)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_linearity(seed):
+    rng = np.random.default_rng(seed)
+    n = 64
+    a = float_to_q15(rng.uniform(-0.4, 0.4, n))
+    b = float_to_q15(rng.uniform(-0.4, 0.4, n))
+    zeros = np.zeros_like(a)
+    fa_re, fa_im, s = q15_fft(a, zeros)
+    fb_re, fb_im, _ = q15_fft(b, zeros)
+    fsum_re, fsum_im, _ = q15_fft((a + b).astype(np.int16), zeros)
+    np.testing.assert_allclose(
+        fsum_re.astype(float), fa_re.astype(float) + fb_re.astype(float), atol=n
+    )
+    np.testing.assert_allclose(
+        fsum_im.astype(float), fa_im.astype(float) + fb_im.astype(float), atol=n
+    )

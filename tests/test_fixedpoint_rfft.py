@@ -1,0 +1,96 @@
+"""Tests for the real-input fixed-point FFT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import OverflowMonitor, float_to_q15, q15_fft, q15_rfft, rfft_reference
+
+
+def _spectrum(x):
+    re, im, s = q15_rfft(x)
+    return (re.astype(float) + 1j * im.astype(float)) * 2.0 ** s
+
+
+class TestRfft:
+    @pytest.mark.parametrize("n", [8, 32, 128, 256])
+    def test_matches_numpy_rfft(self, n):
+        rng = np.random.default_rng(n)
+        x = float_to_q15(rng.uniform(-0.9, 0.9, n))
+        got = _spectrum(x)
+        ref = rfft_reference(x)
+        assert np.max(np.abs(got - ref)) / np.max(np.abs(ref)) < 0.02
+
+    def test_output_length_is_half_plus_one(self):
+        x = np.zeros(64, dtype=np.int16)
+        re, im, _ = q15_rfft(x)
+        assert re.shape[-1] == 33 and im.shape[-1] == 33
+
+    def test_dc_and_nyquist_bins_are_real(self):
+        rng = np.random.default_rng(1)
+        x = float_to_q15(rng.uniform(-0.9, 0.9, 64))
+        got = _spectrum(x)
+        assert abs(got[0].imag) <= 2 ** 7  # quantization slack in raw units
+        assert abs(got[-1].imag) <= 2 ** 7
+
+    def test_matches_full_complex_fft(self):
+        """rfft must agree with the complex FFT's first half."""
+        rng = np.random.default_rng(2)
+        x = float_to_q15(rng.uniform(-0.8, 0.8, 128))
+        re, im, s = q15_fft(x, np.zeros_like(x))
+        full = (re.astype(float) + 1j * im.astype(float)) * 2.0 ** s
+        got = _spectrum(x)
+        # Both are quantized approximations of the same transform.
+        assert np.max(np.abs(got - full[:65])) / np.max(np.abs(full)) < 0.03
+
+    def test_batched(self):
+        rng = np.random.default_rng(3)
+        x = float_to_q15(rng.uniform(-0.5, 0.5, (4, 32)))
+        re, im, _ = q15_rfft(x)
+        assert re.shape == (4, 17)
+        row_re, _, _ = q15_rfft(x[2])
+        np.testing.assert_array_equal(re[2], row_re)
+
+    def test_typical_signals_do_not_overflow(self):
+        mon = OverflowMonitor()
+        rng = np.random.default_rng(4)
+        x = float_to_q15(rng.uniform(-0.99, 0.99, 256))
+        q15_rfft(x, monitor=mon)
+        assert mon.counts.get("rfft_untangle", 0) == 0
+
+    def test_full_scale_dc_saturation_is_monitored(self):
+        """The DC bin of a full-scale constant signal exceeds the output
+        grid (|X[0]| = N * max|x| maps to 2x int16 range); the kernel must
+        saturate *and report it*, never silently wrap."""
+        mon = OverflowMonitor()
+        x = np.full(256, 32767, dtype=np.int16)
+        re, _, _ = q15_rfft(x, monitor=mon)
+        assert mon.counts.get("rfft_untangle", 0) >= 1
+        assert re.max() == 32767  # clamped, not wrapped
+
+    def test_length_validation(self):
+        with pytest.raises(ConfigurationError):
+            q15_rfft(np.zeros(2, dtype=np.int16))
+        with pytest.raises(ConfigurationError):
+            q15_rfft(np.zeros(24, dtype=np.int16))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_property_hermitian_consistency(seed):
+    """The real signal reconstructed from the half spectrum matches the
+    original up to quantization: checks Parseval over the half bins."""
+    rng = np.random.default_rng(seed)
+    n = 64
+    x = float_to_q15(rng.uniform(-0.7, 0.7, n))
+    got = _spectrum(x)
+    ref = rfft_reference(x)
+    sig = float(np.sum(x.astype(float) ** 2))
+    if sig > n * 5000:
+        spec_energy = (
+            np.abs(got[0]) ** 2 + np.abs(got[-1]) ** 2
+            + 2 * np.sum(np.abs(got[1:-1]) ** 2)
+        ) / n
+        assert spec_energy == pytest.approx(sig, rel=0.2)

@@ -1,0 +1,121 @@
+"""Tests for block-exponent vectors (QVector / QComplexVector)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.fixedpoint import OverflowMonitor, QComplexVector, QVector
+
+
+class TestQVector:
+    def test_small_values_get_exp_zero(self):
+        v = QVector.from_float([0.25, -0.5])
+        assert v.exp == 0
+        np.testing.assert_allclose(v.to_float(), [0.25, -0.5], atol=1e-4)
+
+    def test_large_values_raise_exponent(self):
+        v = QVector.from_float([5.0, -3.0])
+        assert v.exp == 3  # magnitudes < 8
+        np.testing.assert_allclose(v.to_float(), [5.0, -3.0], atol=2e-3)
+
+    def test_explicit_exponent_respected(self):
+        v = QVector.from_float([0.5], exp=2)
+        assert v.exp == 2
+        np.testing.assert_allclose(v.to_float(), [0.5], atol=1e-3)
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(QuantizationError):
+            QVector(data=np.zeros(4, dtype=np.int32), exp=0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(QuantizationError):
+            QVector.from_float([float("nan")])
+
+    def test_rescale_up_preserves_value(self):
+        v = QVector.from_float([0.125, -0.25])
+        w = v.rescale(v.exp + 3)
+        np.testing.assert_allclose(w.to_float(), v.to_float(), atol=2e-3)
+
+    def test_rescale_down_can_saturate(self):
+        mon = OverflowMonitor()
+        v = QVector.from_float([7.5], exp=3)
+        v.rescale(0, monitor=mon)
+        assert mon.counts.get("qvector_rescale", 0) == 1
+
+    def test_normalized_maximizes_precision(self):
+        v = QVector.from_float([0.01, -0.02], exp=4)
+        w = v.normalized()
+        assert w.exp < v.exp
+        np.testing.assert_allclose(w.to_float(), v.to_float(), atol=1e-3)
+
+    def test_normalized_zero_vector(self):
+        v = QVector(data=np.zeros(8, dtype=np.int16), exp=5)
+        assert v.normalized().exp == 0
+
+    def test_len(self):
+        assert len(QVector.from_float(np.zeros(17))) == 17
+
+
+class TestQComplexVector:
+    def test_from_real_has_zero_imag(self):
+        v = QVector.from_float([0.5, -0.5])
+        c = QComplexVector.from_real(v)
+        assert np.all(c.im == 0)
+        assert c.exp == v.exp
+
+    def test_complex_roundtrip(self):
+        rng = np.random.default_rng(0)
+        z = rng.uniform(-2, 2, 32) + 1j * rng.uniform(-2, 2, 32)
+        c = QComplexVector.from_complex_floats(z)
+        np.testing.assert_allclose(c.to_complex(), z, atol=5e-4 * 4)
+
+    def test_real_part_extraction(self):
+        z = np.array([1.5 + 0.5j, -0.5 - 0.25j])
+        c = QComplexVector.from_complex_floats(z)
+        np.testing.assert_allclose(c.real_part().to_float(), z.real, atol=1e-3)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(QuantizationError):
+            QComplexVector(
+                re=np.zeros(4, dtype=np.int16), im=np.zeros(5, dtype=np.int16), exp=0
+            )
+
+    def test_dtype_rejected(self):
+        with pytest.raises(QuantizationError):
+            QComplexVector(
+                re=np.zeros(4, dtype=np.float32),
+                im=np.zeros(4, dtype=np.int16),
+                exp=0,
+            )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=64,
+    )
+)
+def test_autoexp_roundtrip_relative_error(values):
+    x = np.asarray(values)
+    v = QVector.from_float(x)
+    back = v.to_float()
+    scale = 2.0 ** (v.exp - 15)
+    # Half an LSB of rounding, plus up to half an LSB more when a value at
+    # the very top of the range rounds into the saturation boundary.
+    assert np.max(np.abs(back - x)) <= 1.0 * scale + 1e-12
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=32),
+    st.integers(min_value=0, max_value=6),
+)
+def test_rescale_then_back_is_lossy_but_bounded(values, up):
+    v = QVector.from_float(np.asarray(values))
+    w = v.rescale(v.exp + up).rescale(v.exp)
+    step = 2.0 ** (v.exp + up - 15)
+    assert np.max(np.abs(w.to_float() - v.to_float())) <= step

@@ -1,0 +1,171 @@
+"""Tests for the device model: memories, meter, cost helpers, board."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError, ResourceExceededError
+from repro.hw import (
+    Device,
+    EnergyMeter,
+    Fram,
+    Sram,
+    alu_cycles,
+    best_mover_cycles,
+    copy_cycles,
+    dma_beats_cpu,
+    mac_loop_cycles,
+    msp430fr5994,
+    op_cycles,
+    software_fft_cycles,
+    speedup_vs_cpu_mac,
+    transfer_cycles,
+)
+from repro.hw import constants as C
+from repro.sim.atoms import Atom
+
+
+class TestMemories:
+    def test_capacity_accounting(self):
+        sram = Sram(1024)
+        sram.allocate("buf", 512)
+        assert sram.free_bytes == 512
+        with pytest.raises(ResourceExceededError):
+            sram.allocate("big", 600)
+
+    def test_reallocate_same_label(self):
+        fram = Fram(1000)
+        fram.allocate("weights", 400)
+        fram.allocate("weights", 500)  # grow in place
+        assert fram.used_bytes == 500
+
+    def test_sram_loses_data_on_power_fail(self):
+        sram = Sram()
+        sram.put("acc", [1, 2, 3])
+        sram.power_fail()
+        assert sram.get("acc") is None
+
+    def test_fram_survives(self):
+        fram = Fram()
+        fram.put("ckpt", {"idx": 7})
+        assert fram.require("ckpt") == {"idx": 7}
+
+    def test_fram_require_missing(self):
+        with pytest.raises(CheckpointError):
+            Fram().require("nope")
+
+    def test_board_sizes(self):
+        dev = msp430fr5994()
+        assert dev.sram.capacity_bytes == 8 * 1024
+        assert dev.fram.capacity_bytes == 256 * 1024
+
+
+class TestMeter:
+    def test_record_and_totals(self):
+        m = EnergyMeter()
+        m.record("cpu", time_s=1e-3, energy_j=5e-6)
+        m.record("lea", time_s=2e-3, energy_j=4e-6, purpose="data")
+        assert m.total_energy_j == pytest.approx(9e-6)
+        assert m.total_time_s == pytest.approx(3e-3)
+        assert m.purpose_of("data") == pytest.approx(4e-6)
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyMeter().record("gpu", energy_j=1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyMeter().record("cpu", energy_j=-1.0)
+
+    def test_diff(self):
+        m = EnergyMeter()
+        m.record("cpu", energy_j=1e-6)
+        snap = m.snapshot()
+        m.record("cpu", energy_j=3e-6)
+        assert m.diff(snap).energy_of("cpu") == pytest.approx(3e-6)
+
+    def test_summary_contains_components(self):
+        m = EnergyMeter()
+        m.record("fram", energy_j=1e-6)
+        assert "fram" in m.summary()
+
+
+class TestCycleHelpers:
+    def test_mac_loop_linear(self):
+        assert mac_loop_cycles(100) == 100 * C.CPU_MAC_CYCLES
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mac_loop_cycles(-1)
+        with pytest.raises(ValueError):
+            alu_cycles(-1)
+        with pytest.raises(ValueError):
+            copy_cycles(-1)
+
+    def test_software_fft_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            software_fft_cycles(100)
+        assert software_fft_cycles(128) > software_fft_cycles(64)
+
+    def test_lea_op_costs(self):
+        assert op_cycles("mac", 100) == C.LEA_SETUP_CYCLES + 100 * C.LEA_MAC_CYCLES_PER_ELEM
+        with pytest.raises(ValueError):
+            op_cycles("conv", 10)
+        with pytest.raises(ValueError):
+            op_cycles("fft", 100)  # not a power of two
+
+    def test_lea_faster_than_cpu_for_long_vectors(self):
+        assert speedup_vs_cpu_mac(256) > 3.0
+
+    def test_dma_beats_cpu_for_bulk(self):
+        assert dma_beats_cpu(64)
+        assert not dma_beats_cpu(1)
+        assert best_mover_cycles(1) == copy_cycles(1)
+        assert best_mover_cycles(64) == transfer_cycles(64)
+
+    def test_dma_zero_words_free(self):
+        assert transfer_cycles(0) == 0.0
+
+
+class TestDeviceExecution:
+    def _atom(self, **kw):
+        base = dict(label="a", layer=0, component="cpu", cycles=1600.0)
+        base.update(kw)
+        return Atom(**base)
+
+    def test_cpu_atom_time_energy(self):
+        dev = Device()
+        atom = self._atom()
+        t, e = dev.atom_cost(atom)
+        assert t == pytest.approx(1600 * C.EFFECTIVE_CYCLE_S)
+        assert e == pytest.approx(C.CPU_ACTIVE_W * t)
+
+    def test_memory_traffic_adds_energy(self):
+        dev = Device()
+        plain = self._atom()
+        heavy = self._atom(fram_writes=1000)
+        assert dev.atom_cost(heavy)[1] > dev.atom_cost(plain)[1]
+
+    def test_execute_books_to_meter(self):
+        dev = Device()
+        dev.execute(self._atom(component="lea", fram_reads=10))
+        assert dev.meter.energy_of("lea") > 0
+        assert dev.meter.energy_of("fram") > 0
+
+    def test_fractional_execution(self):
+        dev = Device()
+        atom = self._atom()
+        dev.execute(atom, fraction=0.25)
+        t_full, _ = dev.atom_cost(atom)
+        assert dev.meter.total_time_s == pytest.approx(0.25 * t_full)
+
+    def test_checkpoint_purpose(self):
+        dev = Device()
+        dev.checkpoint(4)
+        assert dev.meter.purpose_of("checkpoint") > 0
+
+    def test_power_failure_clears_sram(self):
+        dev = Device()
+        dev.sram.put("x", 1)
+        dev.on_power_failure()
+        assert dev.sram.get("x") is None
+        assert dev.reboots == 1

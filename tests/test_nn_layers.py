@@ -1,0 +1,220 @@
+"""Gradient checks and behavioural tests for every layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import (
+    BCMDense,
+    Conv2D,
+    CosineDense,
+    Dense,
+    Flatten,
+    HardClip,
+    MaxPool2D,
+    ReLU,
+    Tanh,
+)
+from tests.gradcheck import check_layer_gradients
+
+
+RNG = np.random.default_rng(42)
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(8, 3, rng=np.random.default_rng(0))
+        assert layer.forward(np.zeros((5, 8))).shape == (5, 3)
+
+    def test_gradients(self):
+        layer = Dense(6, 4, rng=np.random.default_rng(1))
+        check_layer_gradients(layer, RNG.normal(size=(3, 6)))
+
+    def test_gradients_no_bias(self):
+        layer = Dense(5, 2, bias=False, rng=np.random.default_rng(2))
+        check_layer_gradients(layer, RNG.normal(size=(2, 5)))
+
+    def test_bad_input_shape(self):
+        layer = Dense(4, 2)
+        with pytest.raises(ConfigurationError):
+            layer.forward(np.zeros((3, 5)))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(ConfigurationError):
+            Dense(4, 2).backward(np.zeros((1, 2)))
+
+    def test_mask_keeps_weights_zero(self):
+        layer = Dense(4, 3, rng=np.random.default_rng(3))
+        mask = np.ones((3, 4))
+        mask[1, :] = 0.0
+        layer.weight.set_mask(mask)
+        layer.forward(RNG.normal(size=(2, 4)))
+        layer.backward(np.ones((2, 3)))
+        assert np.all(layer.weight.grad[1] == 0)
+        assert np.all(layer.weight.data[1] == 0)
+
+
+class TestCosineDense:
+    def test_outputs_bounded(self):
+        layer = CosineDense(10, 7, rng=np.random.default_rng(4))
+        y = layer.forward(RNG.normal(size=(20, 10)))
+        assert np.max(np.abs(y)) <= 1.0 + 1e-9
+
+    def test_gradients(self):
+        layer = CosineDense(5, 3, rng=np.random.default_rng(5))
+        x = RNG.normal(size=(4, 5)) + 0.1
+        check_layer_gradients(layer, x, atol=1e-4, rtol=1e-3)
+
+    def test_output_shape_helper(self):
+        assert CosineDense(5, 3).output_shape((5,)) == (3,)
+
+
+class TestConv2D:
+    def test_forward_shape_lenet(self):
+        conv = Conv2D(1, 6, 5, rng=np.random.default_rng(6))
+        assert conv.forward(np.zeros((2, 1, 28, 28))).shape == (2, 6, 24, 24)
+
+    def test_forward_matches_direct_convolution(self):
+        conv = Conv2D(2, 3, 3, rng=np.random.default_rng(7))
+        x = RNG.normal(size=(1, 2, 6, 6))
+        y = conv.forward(x)
+        # Direct elementwise reference.
+        ref = np.zeros_like(y)
+        for o in range(3):
+            for i in range(4):
+                for j in range(4):
+                    patch = x[0, :, i : i + 3, j : j + 3]
+                    ref[0, o, i, j] = (patch * conv.weight.data[o]).sum() + conv.bias.data[o]
+        np.testing.assert_allclose(y, ref, atol=1e-10)
+
+    def test_gradients(self):
+        conv = Conv2D(2, 3, 3, rng=np.random.default_rng(8))
+        check_layer_gradients(conv, RNG.normal(size=(2, 2, 5, 5)))
+
+    def test_gradients_stride_2(self):
+        conv = Conv2D(1, 2, 2, stride=2, rng=np.random.default_rng(9))
+        check_layer_gradients(conv, RNG.normal(size=(1, 1, 6, 6)))
+
+    def test_rect_kernel_har_style(self):
+        conv = Conv2D(1, 4, (1, 12), rng=np.random.default_rng(10))
+        y = conv.forward(np.zeros((1, 1, 1, 121)))
+        assert y.shape == (1, 4, 1, 110)
+
+    def test_output_shape_helper(self):
+        conv = Conv2D(1, 6, 5)
+        assert conv.output_shape((1, 28, 28)) == (6, 24, 24)
+
+    def test_too_small_input(self):
+        conv = Conv2D(1, 1, 5)
+        with pytest.raises(ConfigurationError):
+            conv.forward(np.zeros((1, 1, 3, 3)))
+
+
+class TestMaxPool:
+    def test_forward_values(self):
+        pool = MaxPool2D(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        y = pool.forward(x)
+        np.testing.assert_array_equal(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_gradient_routing(self):
+        pool = MaxPool2D(2)
+        x = RNG.normal(size=(2, 3, 4, 4))
+        check_layer_gradients(pool, x)
+
+    def test_tie_breaking_single_winner(self):
+        pool = MaxPool2D(2)
+        x = np.ones((1, 1, 2, 2))
+        pool.forward(x)
+        grad = pool.backward(np.ones((1, 1, 1, 1)))
+        assert grad.sum() == 1.0  # exactly one winner per window
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ConfigurationError):
+            MaxPool2D(2).forward(np.zeros((1, 1, 5, 4)))
+
+    def test_output_shape_helper(self):
+        assert MaxPool2D(2).output_shape((6, 24, 24)) == (6, 12, 12)
+
+
+class TestActivations:
+    def test_relu_gradients(self):
+        check_layer_gradients(ReLU(), RNG.normal(size=(4, 7)) + 0.05)
+
+    def test_tanh_gradients(self):
+        check_layer_gradients(Tanh(), RNG.normal(size=(4, 7)))
+
+    def test_hardclip_gradients(self):
+        x = RNG.normal(size=(5, 6)) * 2
+        x = x[np.all(np.abs(np.abs(x) - 1.0) > 1e-3, axis=1)]  # away from kink
+        if len(x):
+            check_layer_gradients(HardClip(1.0), x)
+
+    def test_hardclip_bounds(self):
+        y = HardClip(0.5).forward(np.array([[-3.0, 0.2, 3.0]]))
+        np.testing.assert_array_equal(y, [[-0.5, 0.2, 0.5]])
+
+    def test_relu_zero_negative(self):
+        y = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(y, [0.0, 0.0, 2.0])
+
+
+class TestFlatten:
+    def test_roundtrip(self):
+        f = Flatten()
+        x = RNG.normal(size=(3, 2, 4, 4))
+        y = f.forward(x)
+        assert y.shape == (3, 32)
+        back = f.backward(y)
+        np.testing.assert_array_equal(back, x)
+
+    def test_output_shape_helper(self):
+        assert Flatten().output_shape((6, 4, 4)) == (96,)
+
+
+class TestBCMDense:
+    def test_forward_matches_materialized_matrix(self):
+        layer = BCMDense(16, 8, 4, rng=np.random.default_rng(11))
+        x = RNG.normal(size=(3, 16))
+        y = layer.forward(x)
+        w_full = layer.weights_full()
+        ref = x @ w_full.T + layer.bias.data
+        np.testing.assert_allclose(y, ref, atol=1e-10)
+
+    def test_gradients(self):
+        layer = BCMDense(8, 8, 4, rng=np.random.default_rng(12))
+        check_layer_gradients(layer, RNG.normal(size=(2, 8)))
+
+    def test_gradients_rect_grid(self):
+        layer = BCMDense(16, 4, 4, bias=False, rng=np.random.default_rng(13))
+        check_layer_gradients(layer, RNG.normal(size=(3, 16)))
+
+    def test_compression_ratio(self):
+        layer = BCMDense(256, 256, 128)
+        assert layer.compression_ratio() == 128.0
+
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BCMDense(12, 12, 3)
+
+    def test_indivisible_dimensions_are_padded(self):
+        layer = BCMDense(10, 8, 4, rng=np.random.default_rng(15))
+        assert layer.in_padded == 12 and layer.out_padded == 8
+        x = RNG.normal(size=(3, 10))
+        y = layer.forward(x)
+        assert y.shape == (3, 8)
+        # Padded forward must equal the materialized (sliced) dense matrix.
+        ref = x @ layer.weights_full().T + layer.bias.data
+        np.testing.assert_allclose(y, ref, atol=1e-10)
+
+    def test_padded_gradients(self):
+        layer = BCMDense(10, 8, 4, bias=False, rng=np.random.default_rng(16))
+        check_layer_gradients(layer, RNG.normal(size=(2, 10)))
+
+    def test_circulant_structure(self):
+        layer = BCMDense(4, 4, 4, bias=False, rng=np.random.default_rng(14))
+        full = layer.weights_full()
+        w = layer.weight.data[0, 0]
+        for i in range(4):
+            for j in range(4):
+                assert full[i, j] == w[(i - j) % 4]

@@ -1,0 +1,69 @@
+"""Tests for deployment-image serialization (save/load quantized models)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import make_dataset, prepare_quantized
+from repro.rad.package import MAGIC, load_quantized, save_quantized
+
+
+@pytest.fixture(scope="module")
+def mnist_q():
+    return prepare_quantized("mnist", seed=0)
+
+
+class TestRoundtrip:
+    def test_bit_exact_outputs(self, mnist_q, tmp_path):
+        path = str(tmp_path / "mnist.npz")
+        save_quantized(mnist_q, path)
+        loaded = load_quantized(path)
+        x = make_dataset("mnist", 16, seed=1).x[:8]
+        np.testing.assert_array_equal(
+            mnist_q.forward_raw(x), loaded.forward_raw(x)
+        )
+
+    def test_metadata_preserved(self, mnist_q, tmp_path):
+        path = str(tmp_path / "m.npz")
+        save_quantized(mnist_q, path)
+        loaded = load_quantized(path)
+        assert loaded.name == mnist_q.name
+        assert loaded.input_shape == mnist_q.input_shape
+        assert loaded.input_frac == mnist_q.input_frac
+        assert loaded.num_classes == mnist_q.num_classes
+        assert len(loaded.layers) == len(mnist_q.layers)
+
+    def test_weight_bytes_identical(self, mnist_q, tmp_path):
+        path = str(tmp_path / "w.npz")
+        save_quantized(mnist_q, path)
+        assert load_quantized(path).weight_bytes == mnist_q.weight_bytes
+
+    @pytest.mark.parametrize("task", ["har", "okg"])
+    def test_other_tasks_roundtrip(self, task, tmp_path):
+        qmodel = prepare_quantized(task, seed=0)
+        path = str(tmp_path / f"{task}.npz")
+        save_quantized(qmodel, path)
+        loaded = load_quantized(path)
+        x = make_dataset(task, 16, seed=1).x[:4]
+        np.testing.assert_array_equal(qmodel.forward_raw(x), loaded.forward_raw(x))
+
+    def test_loaded_model_runs_on_device(self, mnist_q, tmp_path):
+        from repro.experiments import run_inference
+
+        path = str(tmp_path / "dev.npz")
+        save_quantized(mnist_q, path)
+        loaded = load_quantized(path)
+        x = make_dataset("mnist", 16, seed=2).x[0]
+        r = run_inference("ACE+FLEX", loaded, x)
+        assert r.completed
+
+
+class TestErrors:
+    def test_not_an_image(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            load_quantized(path)
+
+    def test_magic_constant_is_versioned(self):
+        assert MAGIC.endswith("v1")

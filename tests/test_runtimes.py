@@ -1,0 +1,130 @@
+"""Tests for the runtime program builders (ACE/FLEX/TAILS/SONIC/BASE)."""
+
+import numpy as np
+import pytest
+
+from repro.ace import AceRuntime, PlanConfig, build_program
+from repro.baselines import BaseRuntime, SonicRuntime, TailsRuntime, build_cpu_program
+from repro.errors import ResourceExceededError
+from repro.experiments.common import prepare_quantized
+from repro.flex import FlexRuntime
+from repro.rad.quantize import QuantBCM
+from repro.sim import total_cycles, validate_program
+
+
+@pytest.fixture(scope="module")
+def mnist_q():
+    return prepare_quantized("mnist", seed=0)
+
+
+@pytest.fixture(scope="module")
+def har_q():
+    return prepare_quantized("har", seed=0)
+
+
+class TestAcePrograms:
+    def test_program_valid_and_nonempty(self, mnist_q):
+        atoms = build_program(mnist_q, PlanConfig())
+        validate_program(atoms)
+        assert len(atoms) > 50
+
+    def test_pruned_filters_reduce_cost(self):
+        pruned = prepare_quantized("mnist", pruned=True, seed=0)
+        unpruned = prepare_quantized("mnist", pruned=False, seed=0)
+        c_pruned = total_cycles(build_program(pruned, PlanConfig()))
+        c_unpruned = total_cycles(build_program(unpruned, PlanConfig()))
+        assert c_pruned < c_unpruned
+
+    def test_bcm_cheaper_than_dense_fc(self):
+        comp = prepare_quantized("okg", compressed=True, seed=0)
+        dense = prepare_quantized("okg", compressed=False, seed=0)
+        assert total_cycles(build_program(comp, PlanConfig())) < total_cycles(
+            build_program(dense, PlanConfig())
+        )
+
+    def test_window_staging_moves_more_data(self, mnist_q):
+        row = build_program(mnist_q, PlanConfig(conv_staging="row"))
+        window = build_program(mnist_q, PlanConfig(conv_staging="window"))
+        assert sum(a.fram_reads for a in window) > sum(a.fram_reads for a in row)
+
+    def test_no_commits_without_flag(self, mnist_q):
+        atoms = build_program(mnist_q, PlanConfig(commit=False))
+        assert not any(a.commit for a in atoms)
+
+    def test_flex_config_commits_inside_bcm(self, mnist_q):
+        atoms = build_program(
+            mnist_q, PlanConfig(commit=True, bcm_stage_commits=True)
+        )
+        bcm_commits = [a for a in atoms if a.label.startswith("bcm") and a.commit
+                       and a.volatile_words > 0]
+        assert bcm_commits  # state-bit commits on volatile pipeline stages
+
+    def test_tails_config_only_writeback_commits_in_bcm(self, mnist_q):
+        atoms = build_program(
+            mnist_q, PlanConfig(commit=True, bcm_stage_commits=False)
+        )
+        volatile_commits = [a for a in atoms if a.label.startswith("bcm")
+                            and a.commit and a.volatile_words > 0]
+        assert not volatile_commits
+
+    def test_dma_disabled_uses_cpu(self, mnist_q):
+        atoms = build_program(mnist_q, PlanConfig(use_dma=False))
+        assert not any(a.component == "dma" for a in atoms)
+
+
+class TestCpuPrograms:
+    def test_base_has_no_commits(self, mnist_q):
+        atoms = build_cpu_program(mnist_q, sonic=False)
+        validate_program(atoms)
+        assert not any(a.commit for a in atoms)
+
+    def test_sonic_commits_every_loop(self, mnist_q):
+        atoms = build_cpu_program(mnist_q, sonic=True)
+        big_loops = [a for a in atoms if a.divisible]
+        assert big_loops and all(a.commit for a in big_loops)
+
+    def test_sonic_costs_more_than_base(self, mnist_q):
+        sonic = total_cycles(build_cpu_program(mnist_q, sonic=True))
+        base = total_cycles(build_cpu_program(mnist_q, sonic=False))
+        assert sonic > base
+
+    def test_bcm_layer_scheduled_as_software_fft(self, har_q):
+        atoms = build_cpu_program(har_q, sonic=False)
+        assert any(a.label.startswith("bcm") for a in atoms)
+
+
+class TestRuntimeObjects:
+    def test_runtime_logits_match_quantized_model(self, mnist_q):
+        from repro.datasets import make_mnist
+
+        x = make_mnist(16, seed=1).x[0]
+        expect = mnist_q.forward(x[None])[0]
+        for rt in (BaseRuntime(mnist_q), SonicRuntime(mnist_q),
+                   TailsRuntime(mnist_q), AceRuntime(mnist_q),
+                   FlexRuntime(mnist_q)):
+            np.testing.assert_allclose(rt.compute_logits(x), expect)
+
+    def test_atoms_cached(self, mnist_q):
+        rt = AceRuntime(mnist_q)
+        assert rt.build_atoms() is rt.build_atoms()
+
+    def test_flags(self, mnist_q):
+        assert not AceRuntime(mnist_q).commit_enabled
+        assert not BaseRuntime(mnist_q).commit_enabled
+        assert SonicRuntime(mnist_q).commit_enabled
+        assert TailsRuntime(mnist_q).commit_enabled
+        flex = FlexRuntime(mnist_q)
+        assert flex.commit_enabled and flex.snapshot_on_warning
+
+    def test_fram_budget_enforced(self):
+        dense_okg = prepare_quantized("okg", compressed=False, seed=0)
+        with pytest.raises(ResourceExceededError):
+            AceRuntime(dense_okg, fram_budget_bytes=192 * 1024)
+
+    def test_tails_task_overhead_present(self, mnist_q):
+        tails_atoms = TailsRuntime(mnist_q).build_atoms()
+        ace_atoms = AceRuntime(mnist_q).build_atoms()
+        assert total_cycles(tails_atoms) > total_cycles(ace_atoms)
+
+    def test_bcm_present_in_compressed_model(self, mnist_q):
+        assert any(isinstance(l, QuantBCM) for l in mnist_q.layers)

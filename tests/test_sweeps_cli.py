@@ -1,0 +1,81 @@
+"""Tests for the design-space sweeps and the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.sweeps import (
+    SweepCell,
+    capacitor_sweep,
+    power_sweep,
+    render_sweep,
+    trace_sweep,
+)
+
+
+class TestSweeps:
+    def test_capacitor_sweep_crossover(self):
+        """With enough storage even uncheckpointed runtimes complete; with
+        little storage they DNF — the completion boundary must exist."""
+        table = capacitor_sweep(
+            "mnist", capacitances_uf=(47.0, 2000.0), runtimes=("ACE",), seed=0
+        )
+        assert not table[47.0]["ACE"].completed
+        assert table[2000.0]["ACE"].completed
+
+    def test_flex_survives_all_capacitors(self):
+        table = capacitor_sweep(
+            "mnist", capacitances_uf=(47.0, 100.0), runtimes=("ACE+FLEX",),
+            seed=0,
+        )
+        for row in table.values():
+            assert row["ACE+FLEX"].completed
+
+    def test_power_sweep_strong_supply_rescues_base(self):
+        table = power_sweep(
+            "mnist", powers_mw=(2.0, 60.0), runtimes=("ACE", "ACE+FLEX"),
+            seed=0,
+        )
+        assert not table[2.0]["ACE"].completed
+        assert table[60.0]["ACE"].completed
+        assert table[2.0]["ACE+FLEX"].completed
+
+    def test_trace_sweep_all_complete(self):
+        cells = trace_sweep("mnist", seed=0)
+        assert set(cells) == {"square-wave", "bursty-rf", "solar-like"}
+        for cell in cells.values():
+            assert cell.completed
+
+    def test_render_sweep(self):
+        table = {1.0: {"ACE": SweepCell(completed=False)},
+                 2.0: {"ACE": SweepCell(completed=True, wall_time_s=0.1,
+                                        reboots=3)}}
+        text = render_sweep(table, "power", " mW")
+        assert "DNF" in text and "100ms/3rb" in text
+
+
+class TestCli:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for cmd in ("table1", "fig8", "overhead", "ablations"):
+            assert parser.parse_args([cmd]).command == cmd
+
+    def test_fig7_task_choice(self):
+        args = build_parser().parse_args(["fig7", "--task", "har"])
+        assert args.task == "har"
+
+    def test_invalid_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_table1_main(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "93.75%" in out
+
+    def test_fig8_main(self, capsys):
+        assert main(["fig8"]) == 0
+        assert "BCM 128" in capsys.readouterr().out
+
+    def test_sweep_trace_main(self, capsys):
+        assert main(["sweep", "--axis", "trace"]) == 0
+        assert "square-wave" in capsys.readouterr().out
