@@ -1,0 +1,84 @@
+"""Extension — fleet engine scaling: parallel vs serial scenario execution.
+
+Runs the same 12-scenario fleet grid through ``FleetRunner`` twice — the
+serial fallback and a 4-worker multiprocessing pool — and reports the
+wall-clock speedup.  Because every scenario is an isolated simulation and
+models are prepared once and shipped to workers at pool start, the
+speedup should approach min(workers, CPUs) for grids with enough cells.
+
+Two properties are asserted:
+
+* parallel results are *identical* to serial results (same per-inference
+  wall time, energy, reboots — the engine's determinism contract);
+* on hosts with multiple CPUs, parallel wall-clock beats serial by the
+  margin the core count allows (>1.5x with >=4 CPUs, >1.2x with >=2).
+  On single-CPU hosts (CI containers) only the parity check applies —
+  there is no parallelism to be had, and the speedup is merely recorded.
+"""
+
+import os
+
+from repro.fleet import FleetRunner, TraceSpec, scenario_grid
+
+from benchmarks.conftest import run_once
+
+WORKERS = 4
+
+
+def _grid():
+    return scenario_grid(
+        tasks=("mnist",),
+        runtimes=("SONIC", "TAILS", "ACE+FLEX"),
+        traces=(TraceSpec("square", 5e-3, 0.05, 0.3),
+                TraceSpec("solar", 5e-3, 1.0)),
+        caps_uf=(100.0, 220.0),
+        n_samples=4,
+    )
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_fleet_parallel_speedup(benchmark):
+    grid = _grid()
+    assert len(grid) == 12
+
+    def run():
+        serial = FleetRunner(workers=1).run(grid)
+        parallel = FleetRunner(workers=WORKERS).run(grid)
+        return serial, parallel
+
+    serial, parallel = run_once(benchmark, run)
+
+    # Determinism contract: the pool must not change a single number.
+    for a, b in zip(serial.results, parallel.results):
+        assert a.scenario == b.scenario
+        assert len(a.stats.results) == len(b.stats.results)
+        for ra, rb in zip(a.stats.results, b.stats.results):
+            assert ra.completed == rb.completed
+            assert ra.wall_time_s == rb.wall_time_s
+            assert ra.energy_j == rb.energy_j
+            assert ra.reboots == rb.reboots
+
+    speedup = serial.wall_s / max(parallel.wall_s, 1e-9)
+    cpus = _cpus()
+    print()
+    print(f"fleet grid: {len(grid)} scenarios, {serial.total_inferences} "
+          f"inferences, host CPUs: {cpus}")
+    print(f"serial:   {serial.wall_s:.2f} s")
+    print(f"parallel: {parallel.wall_s:.2f} s ({WORKERS} workers)")
+    print(f"speedup:  {speedup:.2f}x")
+    benchmark.extra_info["scenarios"] = len(grid)
+    benchmark.extra_info["cpus"] = cpus
+    benchmark.extra_info["serial_s"] = round(serial.wall_s, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel.wall_s, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 3)
+
+    if cpus >= 4:
+        assert speedup > 1.5
+    elif cpus >= 2:
+        assert speedup > 1.2

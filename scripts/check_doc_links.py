@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Docs link checker: every reference in README.md / DESIGN.md must resolve.
+
+Checks three kinds of references:
+
+* markdown links ``[text](target)`` — relative targets must exist
+  (http(s) and pure-anchor targets are skipped);
+* backticked dotted module names ``repro.foo.bar`` — must resolve to a
+  module or package under ``src/``;
+* backticked path-like tokens (``src/repro/cli.py``, ``tests/``,
+  ``fleet/scenario.py``) — must exist relative to the repo root, ``src/``,
+  or ``src/repro/`` (section-local shorthand).
+
+Exit status is the number of broken references, so CI fails on any.
+
+Run:  python scripts/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = ("README.md", "DESIGN.md")
+PATH_ROOTS = (ROOT, ROOT / "src", ROOT / "src" / "repro")
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BACKTICK = re.compile(r"`([^`]+)`")
+MODULE = re.compile(r"^repro(\.\w+)+$")
+
+
+def module_exists(dotted: str) -> bool:
+    rel = Path(*dotted.split("."))
+    base = ROOT / "src" / rel
+    return base.with_suffix(".py").is_file() or (base / "__init__.py").is_file()
+
+
+def path_exists(token: str) -> bool:
+    token = token.rstrip("/")
+    return any((root / token).exists() for root in PATH_ROOTS)
+
+
+def check(doc: Path) -> list:
+    text = doc.read_text(encoding="utf-8")
+    failures = []
+    for target in MD_LINK.findall(text):
+        if target.startswith(("http://", "https://", "#", "mailto:")):
+            continue
+        if not (doc.parent / target.split("#")[0]).exists():
+            failures.append(f"{doc.name}: broken link ({target})")
+    for token in BACKTICK.findall(text):
+        if any(ch.isspace() for ch in token):
+            continue  # commands / prose, not a reference
+        if MODULE.fullmatch(token):
+            if not module_exists(token):
+                failures.append(f"{doc.name}: missing module ({token})")
+        elif "/" in token and token.endswith((".py", ".md", "/")):
+            if not path_exists(token):
+                failures.append(f"{doc.name}: missing path ({token})")
+    return failures
+
+
+def main() -> int:
+    failures = []
+    for name in DOCS:
+        doc = ROOT / name
+        if not doc.is_file():
+            failures.append(f"{name}: document missing")
+            continue
+        failures.extend(check(doc))
+    for f in failures:
+        print(f"FAIL {f}")
+    if not failures:
+        print(f"docs OK: all references in {', '.join(DOCS)} resolve")
+    return len(failures)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,17 @@ substrates they need:
   (BASE/SONIC/TAILS) on the energy-harvesting supply of :mod:`repro.power`
   via the simulator in :mod:`repro.sim`.
 
-See ``DESIGN.md`` for the full system inventory and experiment index.
+Two layers sit above the paper systems:
+
+* :mod:`repro.experiments` — drivers regenerating each paper table and
+  figure (plus sweeps, ablations, and deployment planning), exposed on
+  the command line by :mod:`repro.cli` (``python -m repro``).
+* :mod:`repro.fleet` — the fleet-scale scenario engine: declarative
+  scenario grids executed in parallel across worker processes, with
+  shared model caching and distribution-level reporting.
+
+See ``README.md`` for the project tour and ``DESIGN.md`` for the full
+system inventory and experiment index.
 """
 
 __version__ = "1.0.0"

@@ -9,6 +9,7 @@ Usage::
     python -m repro overhead
     python -m repro ablations
     python -m repro sweep [--axis capacitor|power|trace] [--task ...]
+    python -m repro fleet [--task ...] [--workers N] [--serial] [--samples K]
     python -m repro all [--fast]
 """
 
@@ -98,6 +99,21 @@ def _cmd_sweep(args) -> None:
             print(f"{label:>12}: {cell.render()}")
 
 
+def _cmd_fleet(args) -> None:
+    from repro.fleet import FleetRunner, default_grid
+
+    grid = default_grid(
+        tasks=tuple(args.task) if args.task else ("mnist",),
+        n_samples=args.samples,
+        base_seed=args.seed,
+    )
+    runner = FleetRunner(args.workers, parallel=not args.serial)
+    report = runner.run(grid)
+    print(report.render(per_scenario=not args.no_scenarios))
+    print()
+    print(runner.cache.summary())
+
+
 def _cmd_all(args) -> None:
     _cmd_table1(args)
     print()
@@ -138,6 +154,19 @@ def build_parser() -> argparse.ArgumentParser:
                     default="power")
     ps.add_argument("--task", choices=("mnist", "har", "okg"))
 
+    pf = sub.add_parser("fleet", help="fleet study: parallel scenario grid")
+    pf.add_argument("--task", choices=("mnist", "har", "okg"), nargs="+",
+                    help="tasks to sweep (default: mnist)")
+    pf.add_argument("--workers", type=int, default=None,
+                    help="worker processes (default: available CPUs)")
+    pf.add_argument("--serial", action="store_true",
+                    help="force the serial fallback")
+    pf.add_argument("--samples", type=int, default=4,
+                    help="samples per scenario session")
+    pf.add_argument("--seed", type=int, default=0, help="grid base seed")
+    pf.add_argument("--no-scenarios", action="store_true",
+                    help="omit the per-scenario table")
+
     pa = sub.add_parser("all", help="everything (slow)")
     pa.add_argument("--fast", action="store_true")
     return parser
@@ -151,6 +180,7 @@ _COMMANDS = {
     "overhead": _cmd_overhead,
     "ablations": _cmd_ablations,
     "sweep": _cmd_sweep,
+    "fleet": _cmd_fleet,
     "all": _cmd_all,
 }
 

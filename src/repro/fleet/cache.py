@@ -1,0 +1,64 @@
+"""Shared cache for expensive model artifacts.
+
+Preparing a quantized model (:func:`repro.experiments.common.
+prepare_quantized`) is by far the costliest step of a scenario — building
+the architecture, applying pruning masks, and calibrating activation
+grids.  A fleet sweeping 5 runtimes x 4 traces x 3 capacitors over one
+task needs *one* model, not sixty.  :class:`ModelCache` memoizes prepared
+models by :attr:`Scenario.model_key` so the runner pays once per distinct
+(task, compression, pruning, seed, calibration) combination, and exposes
+hit/miss counters so tests and reports can verify the sharing actually
+happens.
+
+Cached models are execution-stateless except for their overflow
+monitor, which :func:`~repro.fleet.runner.execute_scenario` treats as
+per-scenario scratch (reset before each session, snapshotted into the
+:class:`~repro.fleet.report.ScenarioResult`).  Read overflow statistics
+from results, never from a cached model after a fleet run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.fleet.scenario import Scenario
+from repro.rad.quantize import QuantizedModel
+
+
+class ModelCache:
+    """Memoized ``prepare_quantized`` keyed by :attr:`Scenario.model_key`."""
+
+    def __init__(self) -> None:
+        self._models: Dict[Tuple, QuantizedModel] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def get(self, scenario: Scenario) -> QuantizedModel:
+        """The scenario's prepared model, building it on first request."""
+        key = scenario.model_key
+        model = self._models.get(key)
+        if model is not None:
+            self.hits += 1
+            return model
+        # Imported lazily: experiments.common pulls in every runtime.
+        from repro.experiments.common import prepare_quantized
+
+        self.misses += 1
+        model = prepare_quantized(
+            scenario.task,
+            compressed=scenario.compressed,
+            pruned=scenario.pruned,
+            seed=scenario.model_seed,
+            calib_n=scenario.calib_n,
+        )
+        self._models[key] = model
+        return model
+
+    def summary(self) -> str:
+        return (
+            f"model cache: {len(self)} unique models, "
+            f"{self.hits} hits / {self.misses} misses"
+        )

@@ -1,0 +1,163 @@
+"""Fleet-level aggregation and rendering.
+
+A fleet run produces one :class:`ScenarioResult` per scenario; a
+:class:`FleetReport` holds them all and answers the deployment questions
+the per-inference experiments cannot: across diverse power conditions,
+what throughput does each runtime sustain at the median and the tail, how
+much energy does an inference cost in distribution, how often do devices
+reboot, and what fraction of work is simply never finished (DNF)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.fleet.scenario import Scenario
+from repro.sim.session import SessionStats
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario: the spec, its session stats, true labels.
+
+    ``overflow_events`` is the scenario-scoped saturation count from the
+    (shared) quantized model's overflow monitor — read it from here, not
+    from the cached model, whose monitor is reset per scenario.
+    """
+
+    scenario: Scenario
+    stats: SessionStats
+    labels: Tuple[int, ...] = ()
+    overflow_events: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Accuracy over completed inferences (0.0 when none completed)."""
+        if not self.labels:
+            return 0.0
+        return self.stats.accuracy(list(self.labels))
+
+    def row(self) -> Tuple:
+        """Per-scenario table row (see ``FleetReport.render``)."""
+        s = self.stats
+        return (
+            self.scenario.name,
+            f"{s.completed}/{s.inferences}",
+            f"{s.throughput_hz:.2f}",
+            f"{s.total_energy_j * 1e3:.2f}",
+            f"{s.total_reboots}",
+        )
+
+
+@dataclass
+class RuntimeAggregate:
+    """Distribution summary of every scenario sharing one runtime."""
+
+    runtime: str
+    scenarios: int = 0
+    inferences: int = 0
+    completed: int = 0
+    throughput_hz: List[float] = field(default_factory=list)
+    energy_mj_per_inf: List[float] = field(default_factory=list)
+    reboots_per_inf: List[float] = field(default_factory=list)
+
+    @property
+    def dnf_rate(self) -> float:
+        """Fraction of attempted inferences that never finished."""
+        if self.inferences == 0:
+            return 0.0
+        return 1.0 - self.completed / self.inferences
+
+    def percentile(self, values: Sequence[float], q: float) -> float:
+        if not values:
+            return 0.0
+        return float(np.percentile(np.asarray(values, dtype=float), q))
+
+    def row(self) -> Tuple:
+        return (
+            self.runtime,
+            f"{self.scenarios}",
+            f"{100 * self.dnf_rate:.1f}%",
+            f"{self.percentile(self.throughput_hz, 50):.2f}",
+            f"{self.percentile(self.throughput_hz, 10):.2f}",
+            f"{self.percentile(self.energy_mj_per_inf, 50):.2f}",
+            f"{self.percentile(self.energy_mj_per_inf, 90):.2f}",
+            f"{self.percentile(self.reboots_per_inf, 50):.1f}",
+        )
+
+
+@dataclass
+class FleetReport:
+    """All results of one fleet run plus execution metadata."""
+
+    results: List[ScenarioResult]
+    workers: int = 1
+    wall_s: float = 0.0
+    unique_models: int = 0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def by_runtime(self) -> Dict[str, List[ScenarioResult]]:
+        """Results grouped by runtime, in first-seen order."""
+        groups: Dict[str, List[ScenarioResult]] = {}
+        for r in self.results:
+            groups.setdefault(r.scenario.runtime, []).append(r)
+        return groups
+
+    def aggregate(self) -> Dict[str, RuntimeAggregate]:
+        """Per-runtime distribution summaries."""
+        out: Dict[str, RuntimeAggregate] = {}
+        for runtime, results in self.by_runtime().items():
+            agg = RuntimeAggregate(runtime=runtime)
+            for r in results:
+                s = r.stats
+                agg.scenarios += 1
+                agg.inferences += s.inferences
+                agg.completed += s.completed
+                agg.throughput_hz.append(s.throughput_hz)
+                if s.completed:
+                    agg.energy_mj_per_inf.append(
+                        s.total_energy_j * 1e3 / s.completed
+                    )
+                    agg.reboots_per_inf.append(s.total_reboots / s.completed)
+            out[runtime] = agg
+        return out
+
+    @property
+    def total_inferences(self) -> int:
+        return sum(r.stats.inferences for r in self.results)
+
+    @property
+    def total_completed(self) -> int:
+        return sum(r.stats.completed for r in self.results)
+
+    def render(self, *, per_scenario: bool = True) -> str:
+        """Text report: per-runtime distributions, then per-scenario rows."""
+        from repro.experiments.reporting import format_table
+
+        parts = [
+            format_table(
+                ["runtime", "cells", "DNF", "thr p50", "thr p10",
+                 "mJ/inf p50", "mJ/inf p90", "rb/inf p50"],
+                [agg.row() for agg in self.aggregate().values()],
+                title=(
+                    f"Fleet report: {len(self)} scenarios, "
+                    f"{self.total_completed}/{self.total_inferences} inferences, "
+                    f"{self.unique_models} unique models, "
+                    f"{self.workers} worker(s), {self.wall_s:.2f} s"
+                ),
+            )
+        ]
+        if per_scenario:
+            parts.append(
+                format_table(
+                    ["scenario", "done", "inf/s", "mJ", "reboots"],
+                    [r.row() for r in self.results],
+                    title="Per-scenario results",
+                )
+            )
+        return "\n\n".join(parts)

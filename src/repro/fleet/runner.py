@@ -1,0 +1,171 @@
+"""Fleet execution: many independent sensing sessions, optionally parallel.
+
+Each scenario is an isolated simulation — its own device, supply, runtime
+instance, and sample stream — so a fleet is embarrassingly parallel.
+:class:`FleetRunner` exploits that with a ``multiprocessing`` pool:
+
+1. the parent resolves every distinct :attr:`Scenario.model_key` through a
+   :class:`~repro.fleet.cache.ModelCache` (N scenarios pay for U <= N
+   model preparations, not N);
+2. the prepared models are shipped to each worker once, via the pool
+   initializer (not once per task);
+3. workers execute scenarios with :func:`execute_scenario` — the *same*
+   function the serial path uses — so parallel results are bit-identical
+   to serial results for the same specs.
+
+Determinism holds because every source of randomness is seeded from the
+scenario itself (dataset stream from ``seed``, model from ``model_seed``,
+stochastic traces from ``trace.seed``) and the simulator is pure
+floating-point arithmetic with no wall-clock or cross-scenario coupling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.fleet.cache import ModelCache
+from repro.fleet.report import FleetReport, ScenarioResult
+from repro.fleet.scenario import Scenario
+from repro.rad.quantize import QuantizedModel
+
+
+def execute_scenario(scenario: Scenario, qmodel: QuantizedModel) -> ScenarioResult:
+    """Run one scenario end to end and return its result record.
+
+    Used verbatim by the serial path and by pool workers, which is what
+    makes the two execution modes produce identical results.
+    """
+    from repro.experiments.common import make_dataset, make_runtime
+    from repro.hw.board import msp430fr5994
+    from repro.power import VoltageMonitor
+    from repro.sim.session import SensingSession
+
+    harvester = scenario.build_harvester()
+    device = msp430fr5994(supply=harvester)
+    runtime = make_runtime(scenario.runtime, qmodel)
+    monitor = None
+    if runtime.snapshot_on_warning:
+        if scenario.v_warn is None:
+            monitor = VoltageMonitor(harvester)
+        else:
+            monitor = VoltageMonitor(harvester, v_warn=scenario.v_warn)
+    session = SensingSession(
+        device,
+        runtime,
+        monitor=monitor,
+        stall_limit=scenario.stall_limit,
+        give_up_after_dnf=scenario.give_up_after_dnf,
+    )
+    ds = make_dataset(scenario.task, max(scenario.n_samples, 16),
+                      seed=scenario.seed)
+    # The cached model is shared across scenarios (and, serially, across
+    # this whole run); its overflow monitor is per-scenario scratch.
+    # Reset it here and snapshot the count into the result so overflow
+    # statistics are scenario-scoped in both execution modes.
+    qmodel.monitor.reset()
+    stats = session.run(ds.x[: scenario.n_samples])
+    labels = tuple(int(y) for y in ds.y[: len(stats.results)])
+    return ScenarioResult(scenario=scenario, stats=stats, labels=labels,
+                          overflow_events=qmodel.monitor.total)
+
+
+# -- worker-process plumbing --------------------------------------------------
+#
+# Pool workers receive the prepared models once (initializer) and look
+# them up per scenario; both functions must be module-level picklables.
+
+_WORKER_MODELS: Dict[Tuple, QuantizedModel] = {}
+
+
+def _init_worker(models: Dict[Tuple, QuantizedModel]) -> None:
+    _WORKER_MODELS.clear()
+    _WORKER_MODELS.update(models)
+
+
+def _run_in_worker(scenario: Scenario) -> ScenarioResult:
+    return execute_scenario(scenario, _WORKER_MODELS[scenario.model_key])
+
+
+class FleetRunner:
+    """Execute a list of scenarios, in parallel when it pays off.
+
+    ``workers`` defaults to the CPUs available to this process; pass
+    ``workers=1`` (or ``parallel=False``) for the serial fallback.  The
+    pool is only spun up when there are at least two scenarios and two
+    workers — otherwise serial execution is strictly cheaper.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        parallel: bool = True,
+        cache: Optional[ModelCache] = None,
+    ) -> None:
+        if workers is None:
+            try:
+                workers = len(os.sched_getaffinity(0))
+            except AttributeError:  # pragma: no cover - non-Linux
+                workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.workers = workers
+        self.parallel = parallel
+        self.cache = cache if cache is not None else ModelCache()
+
+    def prepare_models(
+        self, scenarios: Sequence[Scenario]
+    ) -> Dict[Tuple, QuantizedModel]:
+        """Resolve every distinct model once through the shared cache."""
+        return {s.model_key: self.cache.get(s) for s in scenarios}
+
+    def run(self, scenarios: Sequence[Scenario]) -> FleetReport:
+        """Execute all scenarios and aggregate into a :class:`FleetReport`."""
+        scenarios = list(scenarios)
+        if not scenarios:
+            raise ConfigurationError("no scenarios to run")
+        names = [s.name for s in scenarios]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("scenario names must be unique")
+        t0 = time.perf_counter()
+        models = self.prepare_models(scenarios)
+        use_pool = self.parallel and self.workers > 1 and len(scenarios) > 1
+        if use_pool:
+            results = self._run_parallel(scenarios, models)
+        else:
+            results = [execute_scenario(s, models[s.model_key]) for s in scenarios]
+        wall_s = time.perf_counter() - t0
+        return FleetReport(
+            results=results,
+            workers=self.workers if use_pool else 1,
+            wall_s=wall_s,
+            unique_models=len(models),
+        )
+
+    def _run_parallel(
+        self,
+        scenarios: List[Scenario],
+        models: Dict[Tuple, QuantizedModel],
+    ) -> List[ScenarioResult]:
+        ctx = multiprocessing.get_context()
+        procs = min(self.workers, len(scenarios))
+        with ctx.Pool(procs, initializer=_init_worker, initargs=(models,)) as pool:
+            # chunksize=1: scenarios vary widely in cost (DNF-heavy cells
+            # finish early, stall-heavy cells drag), so fine-grained
+            # dispatch balances the load.  map preserves input order.
+            return pool.map(_run_in_worker, scenarios, chunksize=1)
+
+
+def run_fleet(
+    scenarios: Sequence[Scenario],
+    *,
+    workers: Optional[int] = None,
+    parallel: bool = True,
+) -> FleetReport:
+    """One-call convenience wrapper around :class:`FleetRunner`."""
+    return FleetRunner(workers, parallel=parallel).run(scenarios)

@@ -1,0 +1,155 @@
+"""Declarative scenario specifications.
+
+A :class:`Scenario` describes one deployment cell — *which device
+configuration, under which power conditions, running which runtime on
+which model, over which sample stream* — entirely as data.  Scenarios are
+frozen, hashable, and picklable, so a fleet run is just a list of specs
+handed to :class:`~repro.fleet.runner.FleetRunner`; nothing about the
+execution is encoded in imperative per-experiment scripts.
+
+The power supply is itself declarative: a :class:`TraceSpec` names one of
+the :mod:`repro.power.traces` profiles plus its parameters, and
+``build()`` instantiates the real :class:`~repro.power.traces.PowerTrace`
+inside whichever process executes the scenario.  This keeps specs tiny on
+the wire (multiprocessing pickles them to workers) and keeps stochastic
+traces reproducible — the trace seed travels with the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.power import (
+    Capacitor,
+    ConstantTrace,
+    EnergyHarvester,
+    PowerTrace,
+    SolarTrace,
+    SquareWaveTrace,
+    StochasticRFTrace,
+)
+
+#: Trace kinds understood by :class:`TraceSpec`.
+TRACE_KINDS = ("constant", "square", "rf", "solar")
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Declarative power-trace description.
+
+    ``kind`` selects the profile; the remaining fields are interpreted per
+    kind:
+
+    * ``"constant"`` — steady ``power_w``; ``period_s``/``duty`` unused.
+    * ``"square"``   — the paper's function-generator profile:
+      ``power_w`` during the first ``duty`` fraction of each ``period_s``.
+    * ``"rf"``       — bursty ambient-RF harvesting with mean power
+      ``power_w``, mean on-time ``duty * period_s`` and mean off-time
+      ``(1 - duty) * period_s``, pre-generated from ``seed``.
+    * ``"solar"``    — clipped sinusoid peaking at ``power_w`` every
+      ``period_s``.
+    """
+
+    kind: str = "square"
+    power_w: float = 5e-3
+    period_s: float = 0.05
+    duty: float = 0.3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRACE_KINDS:
+            raise ConfigurationError(
+                f"unknown trace kind {self.kind!r} (expected one of {TRACE_KINDS})"
+            )
+        if self.power_w < 0 or self.period_s <= 0 or not 0.0 < self.duty <= 1.0:
+            raise ConfigurationError(
+                f"invalid trace spec (power={self.power_w}, "
+                f"period={self.period_s}, duty={self.duty})"
+            )
+        if self.kind == "rf" and self.duty >= 1.0:
+            # Fail at construction, not in a worker's build(): an RF trace
+            # needs a non-zero mean off-time.
+            raise ConfigurationError("rf traces need duty < 1.0")
+
+    def build(self) -> PowerTrace:
+        """Instantiate the concrete :class:`PowerTrace`."""
+        if self.kind == "constant":
+            return ConstantTrace(self.power_w)
+        if self.kind == "square":
+            return SquareWaveTrace(self.power_w, self.period_s, self.duty)
+        if self.kind == "rf":
+            return StochasticRFTrace(
+                self.power_w,
+                mean_on_s=self.duty * self.period_s,
+                mean_off_s=(1.0 - self.duty) * self.period_s,
+                seed=self.seed,
+            )
+        return SolarTrace(self.power_w, period_s=self.period_s)
+
+    def label(self) -> str:
+        """Short distinguishing tag (used in scenario names).
+
+        Non-default period/duty (and, for RF, a non-zero seed) are
+        appended so that grids sweeping those axes — e.g. a fleet on
+        i.i.d. RF supplies with different seeds — get unique scenario
+        names, which the runner requires.
+        """
+        parts = [f"{self.kind}@{self.power_w * 1e3:g}mW"]
+        if self.period_s != 0.05:
+            parts.append(f"p{self.period_s * 1e3:g}ms")
+        if self.duty != 0.3:
+            parts.append(f"d{self.duty * 100:g}")
+        if self.kind == "rf" and self.seed != 0:
+            parts.append(f"s{self.seed}")
+        return "-".join(parts)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of a fleet study: device x supply x runtime x stream.
+
+    All fields are plain data, so scenarios can be generated in bulk by
+    :func:`~repro.fleet.grid.scenario_grid`, pickled to worker processes,
+    and compared for equality in tests.  ``seed`` drives the sample
+    stream; ``model_seed`` (together with the model-shape fields) drives
+    model construction and is the cache key for shared
+    :func:`~repro.experiments.common.prepare_quantized` artifacts.
+    """
+
+    name: str
+    task: str = "mnist"
+    runtime: str = "ACE+FLEX"
+    trace: TraceSpec = field(default_factory=TraceSpec)
+    cap_uf: float = 100.0
+    n_samples: int = 4
+    seed: int = 0
+    model_seed: int = 0
+    compressed: bool = True
+    pruned: bool = True
+    calib_n: int = 16
+    stall_limit: int = 6
+    give_up_after_dnf: int = 2
+    v_warn: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 1:
+            raise ConfigurationError("n_samples must be >= 1")
+        if self.cap_uf <= 0:
+            raise ConfigurationError("cap_uf must be positive")
+
+    @property
+    def model_key(self) -> Tuple:
+        """Cache key: scenarios sharing it run the identical model."""
+        return (self.task, self.compressed, self.pruned, self.model_seed,
+                self.calib_n)
+
+    def build_harvester(self) -> EnergyHarvester:
+        """The scenario's supply: its trace into its capacitor."""
+        return EnergyHarvester(self.trace.build(), Capacitor(self.cap_uf * 1e-6))
+
+    def with_runtime(self, runtime: str) -> "Scenario":
+        """Copy of this scenario on a different runtime (name updated)."""
+        return replace(self, runtime=runtime,
+                       name=f"{self.name.rsplit('/', 1)[0]}/{runtime}")

@@ -6,6 +6,11 @@ sleeps, and repeats, all on the same harvested supply.  A
 runtime on one device, carrying the capacitor state (and wall clock)
 across inferences, and reports throughput/energy statistics — the
 deployment-level view of Figure 7's per-inference numbers.
+
+A session is still one device on one supply.  For populations of devices
+under diverse power conditions — many sessions executed in parallel and
+aggregated into distributions — see :mod:`repro.fleet`, which wraps this
+class in a declarative scenario engine.
 """
 
 from __future__ import annotations

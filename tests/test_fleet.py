@@ -1,0 +1,280 @@
+"""Tests for the fleet-scale scenario engine."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ConfigurationError
+from repro.fleet import (
+    FleetReport,
+    FleetRunner,
+    ModelCache,
+    Scenario,
+    ScenarioResult,
+    TraceSpec,
+    default_grid,
+    scenario_grid,
+    scenario_seed,
+)
+from repro.power import (
+    ConstantTrace,
+    SolarTrace,
+    SquareWaveTrace,
+    StochasticRFTrace,
+)
+from repro.sim.results import RunResult
+from repro.sim.session import SessionStats
+
+
+class TestTraceSpec:
+    def test_build_types(self):
+        assert isinstance(TraceSpec("constant", 1e-3).build(), ConstantTrace)
+        assert isinstance(TraceSpec("square", 5e-3).build(), SquareWaveTrace)
+        assert isinstance(TraceSpec("rf", 1e-3).build(), StochasticRFTrace)
+        assert isinstance(TraceSpec("solar", 5e-3, 1.0).build(), SolarTrace)
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ConfigurationError):
+            TraceSpec("laser", 1e-3)
+        with pytest.raises(ConfigurationError):
+            TraceSpec("square", -1.0)
+        with pytest.raises(ConfigurationError):
+            TraceSpec("square", 1e-3, duty=0.0)
+
+    def test_label(self):
+        assert TraceSpec("square", 5e-3).label() == "square@5mW"
+
+    def test_label_distinguishes_nondefault_axes(self):
+        """Sweeping period, duty, or RF seed must not collide names."""
+        specs = (
+            TraceSpec("rf", 1e-3, seed=1),
+            TraceSpec("rf", 1e-3, seed=2),
+            TraceSpec("square", 1e-3, period_s=0.1),
+            TraceSpec("square", 1e-3, duty=0.5),
+        )
+        labels = [s.label() for s in specs]
+        assert len(set(labels)) == len(labels)
+        grid = scenario_grid(runtimes=("ACE+FLEX",), traces=specs[:2])
+        assert len({s.name for s in grid}) == 2
+
+    def test_rf_rejects_full_duty(self):
+        with pytest.raises(ConfigurationError):
+            TraceSpec("rf", 1e-3, duty=1.0)
+        TraceSpec("square", 1e-3, duty=1.0)  # fine for deterministic kinds
+
+    def test_rf_seed_travels_with_spec(self):
+        a = TraceSpec("rf", 1e-3, seed=1).build()
+        b = TraceSpec("rf", 1e-3, seed=1).build()
+        c = TraceSpec("rf", 1e-3, seed=2).build()
+        assert a.energy(0.0, 0.5) == b.energy(0.0, 0.5)
+        assert a.energy(0.0, 0.5) != c.energy(0.0, 0.5)
+
+
+class TestScenario:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(name="x", n_samples=0)
+        with pytest.raises(ConfigurationError):
+            Scenario(name="x", cap_uf=0.0)
+
+    def test_model_key_ignores_supply(self):
+        a = Scenario(name="a", trace=TraceSpec("square", 5e-3), cap_uf=47.0)
+        b = Scenario(name="b", trace=TraceSpec("solar", 5e-3, 1.0), cap_uf=330.0)
+        assert a.model_key == b.model_key
+        c = Scenario(name="c", model_seed=7)
+        assert c.model_key != a.model_key
+
+    def test_with_runtime(self):
+        s = Scenario(name="mnist/square@5mW/100uF/SONIC", runtime="SONIC")
+        t = s.with_runtime("TAILS")
+        assert t.runtime == "TAILS"
+        assert t.name == "mnist/square@5mW/100uF/TAILS"
+        assert t.trace == s.trace
+
+
+class TestGrid:
+    def test_seed_is_order_independent(self):
+        assert scenario_seed("a/b/c") == scenario_seed("a/b/c")
+        assert scenario_seed("a/b/c") != scenario_seed("a/b/d")
+        assert scenario_seed("a/b/c", 1) != scenario_seed("a/b/c", 2)
+
+    def test_seed_valid_for_any_base_seed(self):
+        """Negative CLI seeds must still yield valid numpy seeds."""
+        for base in (-1, -12345, 0, 2**40):
+            seed = scenario_seed("a/b/c", base)
+            assert 0 <= seed < 2**32
+            np.random.default_rng(seed)
+
+    def test_grid_shape_and_names(self):
+        grid = scenario_grid(
+            tasks=("mnist", "har"),
+            runtimes=("TAILS", "ACE+FLEX"),
+            traces=(TraceSpec("square", 5e-3),),
+            caps_uf=(47.0, 100.0),
+        )
+        assert len(grid) == 8
+        names = [s.name for s in grid]
+        assert len(set(names)) == 8
+        assert "mnist/square@5mW/47uF/TAILS" in names
+
+    def test_one_model_key_per_task(self):
+        grid = default_grid()
+        assert len(grid) >= 12
+        assert len({s.model_key for s in grid}) == 1
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario_grid(tasks=())
+
+
+class TestModelCache:
+    def test_hit_and_miss_accounting(self):
+        cache = ModelCache()
+        a = Scenario(name="a", task="mnist", calib_n=4)
+        b = Scenario(name="b", task="mnist", calib_n=4,
+                     trace=TraceSpec("solar", 5e-3, 1.0))
+        m1 = cache.get(a)
+        assert (cache.hits, cache.misses, len(cache)) == (0, 1, 1)
+        m2 = cache.get(b)  # different supply, same model
+        assert m2 is m1
+        assert (cache.hits, cache.misses, len(cache)) == (1, 1, 1)
+        c = Scenario(name="c", task="mnist", calib_n=4, model_seed=3)
+        m3 = cache.get(c)
+        assert m3 is not m1
+        assert (cache.hits, cache.misses, len(cache)) == (1, 2, 2)
+
+    def test_runner_prepares_each_model_once(self):
+        grid = scenario_grid(
+            tasks=("mnist",),
+            runtimes=("ACE", "ACE+FLEX"),
+            traces=(TraceSpec("constant", 40e-3),),
+            caps_uf=(100.0, 220.0),
+            n_samples=1,
+        )
+        runner = FleetRunner(workers=1)
+        report = runner.run(grid)
+        assert runner.cache.misses == 1
+        assert runner.cache.hits == len(grid) - 1
+        assert report.unique_models == 1
+
+
+def _small_grid(n_samples=2):
+    return scenario_grid(
+        tasks=("mnist",),
+        runtimes=("TAILS", "ACE+FLEX"),
+        traces=(TraceSpec("square", 5e-3, 0.05, 0.3),),
+        caps_uf=(100.0, 220.0),
+        n_samples=n_samples,
+    )
+
+
+class TestRunner:
+    def test_parallel_identical_to_serial(self):
+        """The engine's determinism contract, down to the logits bits."""
+        grid = _small_grid()
+        serial = FleetRunner(workers=1).run(grid)
+        parallel = FleetRunner(workers=2).run(grid)
+        assert serial.workers == 1 and parallel.workers == 2
+        assert [r.scenario for r in serial.results] == grid
+        for a, b in zip(serial.results, parallel.results):
+            assert a.scenario == b.scenario
+            assert a.labels == b.labels
+            assert a.overflow_events == b.overflow_events
+            assert len(a.stats.results) == len(b.stats.results)
+            for ra, rb in zip(a.stats.results, b.stats.results):
+                assert ra.completed == rb.completed
+                assert ra.wall_time_s == rb.wall_time_s
+                assert ra.energy_j == rb.energy_j
+                assert ra.reboots == rb.reboots
+                assert ra.predicted_class == rb.predicted_class
+                if ra.logits is None:
+                    assert rb.logits is None
+                else:
+                    assert np.array_equal(ra.logits, rb.logits)
+
+    def test_parallel_false_forces_serial(self):
+        grid = _small_grid(n_samples=1)[:2]
+        report = FleetRunner(workers=4, parallel=False).run(grid)
+        assert report.workers == 1
+
+    def test_rejects_empty_and_duplicate_names(self):
+        runner = FleetRunner(workers=1)
+        with pytest.raises(ConfigurationError):
+            runner.run([])
+        s = Scenario(name="dup", n_samples=1)
+        with pytest.raises(ConfigurationError):
+            runner.run([s, s])
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            FleetRunner(workers=0)
+
+
+def _synthetic_report():
+    def result(runtime, completed, wall, energy, reboots):
+        return RunResult(runtime=runtime, completed=completed,
+                         predicted_class=0 if completed else None,
+                         wall_time_s=wall, energy_j=energy, reboots=reboots)
+
+    ok = SessionStats(runtime="ACE+FLEX", results=[
+        result("ACE+FLEX", True, 1.0, 1e-3, 1),
+        result("ACE+FLEX", True, 1.0, 1e-3, 1),
+    ])
+    half = SessionStats(runtime="SONIC", results=[
+        result("SONIC", True, 4.0, 8e-3, 9),
+        result("SONIC", False, 2.0, 2e-3, 6),
+    ])
+    return FleetReport(results=[
+        ScenarioResult(Scenario(name="a", runtime="ACE+FLEX", n_samples=2),
+                       ok, labels=(0, 1)),
+        ScenarioResult(Scenario(name="b", runtime="SONIC", n_samples=2),
+                       half, labels=(0, 1)),
+    ], workers=2, wall_s=0.5, unique_models=1)
+
+
+class TestReport:
+    def test_aggregate_distributions(self):
+        report = _synthetic_report()
+        agg = report.aggregate()
+        assert set(agg) == {"ACE+FLEX", "SONIC"}
+        flex = agg["ACE+FLEX"]
+        assert flex.dnf_rate == 0.0
+        assert flex.percentile(flex.throughput_hz, 50) == pytest.approx(1.0)
+        sonic = agg["SONIC"]
+        assert sonic.dnf_rate == pytest.approx(0.5)
+        assert sonic.energy_mj_per_inf == [pytest.approx(10.0)]
+        assert report.total_inferences == 4
+        assert report.total_completed == 3
+
+    def test_accuracy_uses_completed_only(self):
+        report = _synthetic_report()
+        # first scenario: predictions are class 0 vs labels (0, 1) -> 1/2
+        assert report.results[0].accuracy == pytest.approx(0.5)
+        # second: only the completed inference counts, it hit label 0
+        assert report.results[1].accuracy == pytest.approx(1.0)
+
+    def test_render_contains_tables(self):
+        text = _synthetic_report().render()
+        assert "Fleet report: 2 scenarios" in text
+        assert "Per-scenario results" in text
+        assert "SONIC" in text and "ACE+FLEX" in text
+        compact = _synthetic_report().render(per_scenario=False)
+        assert "Per-scenario results" not in compact
+
+
+class TestCli:
+    def test_parser_accepts_fleet(self):
+        args = build_parser().parse_args(
+            ["fleet", "--serial", "--workers", "2", "--samples", "1",
+             "--task", "mnist", "har"]
+        )
+        assert args.command == "fleet"
+        assert args.serial and args.workers == 2
+        assert args.task == ["mnist", "har"]
+
+    def test_fleet_smoke(self, capsys):
+        assert main(["fleet", "--serial", "--samples", "1",
+                     "--no-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet report:" in out
+        assert "model cache: 1 unique models" in out
