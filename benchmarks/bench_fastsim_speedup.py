@@ -1,0 +1,149 @@
+"""Extension — fast-engine speedup: precompiled replay vs stepwise walk.
+
+Runs Figure 7-style continuous-power sensing sessions (every runtime of
+the paper's evaluation on the MNIST Table II model) through both
+simulation engines and reports the wall-clock speedup of
+``engine="fast"`` over the reference ``IntermittentMachine``, plus an
+unasserted harvested-power (square-wave supply) data point.
+
+Three properties are checked:
+
+* **bit-identity** — every RunResult of the fast session equals the
+  reference session's, field for field (the fastsim equivalence
+  contract, enforced in depth by ``tests/test_fastsim_conformance.py``);
+* **determinism** — running the fast engine twice yields identical
+  results (the contract that makes it safe on single-CPU CI hosts,
+  where no speedup can be demonstrated);
+* **speedup** — on the LEA-based runtimes (TAILS / ACE / ACE+FLEX, whose
+  667-atom vector-op programs dominate Figure 7's walk cost) the fast
+  engine must be >= 5x faster per continuous-power session.  BASE and
+  SONIC compile to ~9 coarse atoms, so their sessions are bound by the
+  (already batched) logits computation and land nearer 3x; they are
+  recorded but not asserted.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the session and skips the
+speedup assertion — identity and determinism are timing-free and must
+hold anywhere.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.experiments.common import (
+    RUNTIME_ORDER,
+    make_dataset,
+    make_runtime,
+    paper_harvester,
+    prepare_quantized,
+)
+from repro.hw.board import Device, msp430fr5994
+from repro.power import VoltageMonitor
+from repro.sim import SensingSession
+
+from benchmarks.conftest import run_once
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+N_SAMPLES = 8 if SMOKE else 48
+ASSERTED_RUNTIMES = ("TAILS", "ACE", "ACE+FLEX")
+MIN_SPEEDUP = 5.0
+
+RESULT_FIELDS = (
+    "runtime", "completed", "predicted_class", "wall_time_s",
+    "active_time_s", "charge_time_s", "energy_j", "checkpoint_energy_j",
+    "reboots", "executed_cycles", "program_cycles", "dnf_reason",
+)
+
+
+def _session(qmodel, name, engine, harvested=False):
+    harvester = paper_harvester() if harvested else None
+    device = msp430fr5994(supply=harvester) if harvested else Device()
+    runtime = make_runtime(name, qmodel)
+    monitor = None
+    if harvester is not None and runtime.snapshot_on_warning:
+        monitor = VoltageMonitor(harvester)
+    return SensingSession(device, runtime, monitor=monitor, engine=engine)
+
+
+def _timed_run(qmodel, name, engine, samples, harvested=False, repeats=2):
+    """Best-of-``repeats`` wall time (fresh session each repeat, so every
+    run starts from an identical device/supply state)."""
+    best = float("inf")
+    stats = None
+    for _ in range(repeats):
+        session = _session(qmodel, name, engine, harvested=harvested)
+        t0 = time.perf_counter()
+        run_stats = session.run(samples)
+        best = min(best, time.perf_counter() - t0)
+        if stats is None:
+            stats = run_stats
+    return stats, best
+
+
+def _assert_identical(ref_stats, fast_stats, context):
+    assert len(ref_stats.results) == len(fast_stats.results), context
+    for i, (a, b) in enumerate(zip(ref_stats.results, fast_stats.results)):
+        for field in RESULT_FIELDS:
+            assert getattr(a, field) == getattr(b, field), \
+                f"{context}[{i}].{field}"
+        assert a.energy_by_component == b.energy_by_component, context
+        if a.logits is None:
+            assert b.logits is None, context
+        else:
+            assert np.array_equal(a.logits, b.logits), context
+
+
+def test_fastsim_speedup(benchmark):
+    qmodel = prepare_quantized("mnist")
+    samples = make_dataset("mnist", max(N_SAMPLES, 16)).x[:N_SAMPLES]
+
+    def run():
+        rows = {}
+        for name in RUNTIME_ORDER:
+            # Warm both paths once (program compilation, numpy dispatch).
+            _timed_run(qmodel, name, "fast", samples[:1])
+            _timed_run(qmodel, name, "reference", samples[:1])
+            ref_stats, ref_s = _timed_run(qmodel, name, "reference", samples)
+            fast_stats, fast_s = _timed_run(qmodel, name, "fast", samples)
+            again_stats, _ = _timed_run(qmodel, name, "fast", samples)
+            rows[name] = (ref_stats, fast_stats, again_stats, ref_s, fast_s)
+        harv = {}
+        for name in ("TAILS", "ACE+FLEX"):
+            ref_stats, ref_s = _timed_run(qmodel, name, "reference",
+                                          samples, harvested=True)
+            fast_stats, fast_s = _timed_run(qmodel, name, "fast",
+                                            samples, harvested=True)
+            harv[name] = (ref_stats, fast_stats, ref_s, fast_s)
+        return rows, harv
+
+    rows, harv = run_once(benchmark, run)
+
+    print()
+    print(f"fast-engine speedup, continuous power, {N_SAMPLES}-sample "
+          f"sessions{' (smoke)' if SMOKE else ''}:")
+    for name, (ref_stats, fast_stats, again_stats, ref_s, fast_s) in rows.items():
+        _assert_identical(ref_stats, fast_stats, f"{name}/ref-vs-fast")
+        _assert_identical(fast_stats, again_stats, f"{name}/determinism")
+        speedup = ref_s / max(fast_s, 1e-9)
+        print(f"  {name:9s} reference {ref_s * 1e3:7.1f} ms   "
+              f"fast {fast_s * 1e3:7.1f} ms   {speedup:5.2f}x")
+        benchmark.extra_info[f"{name}_speedup"] = round(speedup, 2)
+    print("harvested power (square wave), identity + recorded speedup:")
+    for name, (ref_stats, fast_stats, ref_s, fast_s) in harv.items():
+        _assert_identical(ref_stats, fast_stats, f"{name}/harvested")
+        speedup = ref_s / max(fast_s, 1e-9)
+        print(f"  {name:9s} reference {ref_s * 1e3:7.1f} ms   "
+              f"fast {fast_s * 1e3:7.1f} ms   {speedup:5.2f}x")
+        benchmark.extra_info[f"{name}_harvested_speedup"] = round(speedup, 2)
+    benchmark.extra_info["samples"] = N_SAMPLES
+    benchmark.extra_info["smoke"] = SMOKE
+
+    if not SMOKE:
+        for name in ASSERTED_RUNTIMES:
+            ref_s, fast_s = rows[name][3], rows[name][4]
+            assert ref_s / max(fast_s, 1e-9) >= MIN_SPEEDUP, (
+                f"{name}: fast engine only "
+                f"{ref_s / max(fast_s, 1e-9):.2f}x faster (need "
+                f">= {MIN_SPEEDUP}x)"
+            )

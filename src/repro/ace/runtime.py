@@ -64,6 +64,10 @@ class AceRuntime(InferenceRuntime):
         )
         return logits[0]
 
+    def compute_logits_batch(self, xs: np.ndarray) -> np.ndarray:
+        # Integer kernels: batched rows are bit-identical to per-sample runs.
+        return self.qmodel.forward(np.asarray(xs), bcm_mode=self.bcm_mode)
+
     def restore_words(self) -> int:
         return 0  # nothing to restore: ACE has no progress records
 

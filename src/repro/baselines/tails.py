@@ -55,5 +55,9 @@ class TailsRuntime(InferenceRuntime):
     def compute_logits(self, x: np.ndarray) -> np.ndarray:
         return self.qmodel.forward(np.asarray(x)[None, ...])[0]
 
+    def compute_logits_batch(self, xs: np.ndarray) -> np.ndarray:
+        # Integer kernels: batched rows are bit-identical to per-sample runs.
+        return self.qmodel.forward(np.asarray(xs))
+
     def restore_words(self) -> int:
         return C.TAILS_COMMIT_WORDS

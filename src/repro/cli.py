@@ -10,6 +10,7 @@ Usage::
     python -m repro ablations
     python -m repro sweep [--axis capacitor|power|trace] [--task ...]
     python -m repro fleet [--task ...] [--workers N] [--serial] [--samples K]
+                          [--engine reference|fast]
     python -m repro all [--fast]
 """
 
@@ -107,7 +108,8 @@ def _cmd_fleet(args) -> None:
         n_samples=args.samples,
         base_seed=args.seed,
     )
-    runner = FleetRunner(args.workers, parallel=not args.serial)
+    runner = FleetRunner(args.workers, parallel=not args.serial,
+                         engine=args.engine)
     report = runner.run(grid)
     print(report.render(per_scenario=not args.no_scenarios))
     print()
@@ -164,6 +166,10 @@ def build_parser() -> argparse.ArgumentParser:
     pf.add_argument("--samples", type=int, default=4,
                     help="samples per scenario session")
     pf.add_argument("--seed", type=int, default=0, help="grid base seed")
+    pf.add_argument("--engine", choices=("reference", "fast"),
+                    default="reference",
+                    help="simulation engine (fast = precompiled replay, "
+                         "bit-identical results)")
     pf.add_argument("--no-scenarios", action="store_true",
                     help="omit the per-scenario table")
 

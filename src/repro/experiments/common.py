@@ -26,7 +26,7 @@ from repro.power import Capacitor, EnergyHarvester, SquareWaveTrace, VoltageMoni
 from repro.rad import PAPER_PRUNE, filter_mask
 from repro.rad.quantize import QuantizedModel, quantize_model
 from repro.rad.zoo import INPUT_SHAPES, build_model
-from repro.sim import IntermittentMachine, RunResult
+from repro.sim import RunResult, make_machine
 
 #: Display order of the evaluated runtimes (Figure 7's x axis).
 RUNTIME_ORDER = ("BASE", "SONIC", "TAILS", "ACE", "ACE+FLEX")
@@ -131,10 +131,13 @@ def run_inference(
     harvester: Optional[EnergyHarvester] = None,
     stall_limit: int = 6,
     v_warn: Optional[float] = None,
+    engine: str = "reference",
 ) -> RunResult:
     """One inference under continuous (``harvester=None``) or harvested power.
 
-    ``v_warn`` overrides FLEX's voltage-monitor warning threshold.
+    ``v_warn`` overrides FLEX's voltage-monitor warning threshold;
+    ``engine`` selects the simulation engine (``"reference"``/``"fast"``,
+    bit-identical results — see :mod:`repro.sim.fastsim`).
     """
     runtime = make_runtime(runtime_name, qmodel)
     device = msp430fr5994(supply=harvester)
@@ -144,8 +147,8 @@ def run_inference(
             monitor = VoltageMonitor(harvester)
         else:
             monitor = VoltageMonitor(harvester, v_warn=v_warn)
-    machine = IntermittentMachine(
-        device, runtime, monitor=monitor, stall_limit=stall_limit
+    machine = make_machine(
+        device, runtime, engine=engine, monitor=monitor, stall_limit=stall_limit
     )
     return machine.run(x)
 
@@ -155,10 +158,13 @@ def run_all_runtimes(
     x: np.ndarray,
     *,
     intermittent: bool = False,
+    engine: str = "reference",
 ) -> Dict[str, RunResult]:
     """Run every Figure 7 runtime on one sample; returns name -> result."""
     results = {}
     for name in RUNTIME_ORDER:
         harvester = paper_harvester() if intermittent else None
-        results[name] = run_inference(name, qmodel, x, harvester=harvester)
+        results[name] = run_inference(
+            name, qmodel, x, harvester=harvester, engine=engine
+        )
     return results

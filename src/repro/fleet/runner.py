@@ -34,11 +34,15 @@ from repro.fleet.scenario import Scenario
 from repro.rad.quantize import QuantizedModel
 
 
-def execute_scenario(scenario: Scenario, qmodel: QuantizedModel) -> ScenarioResult:
+def execute_scenario(
+    scenario: Scenario, qmodel: QuantizedModel, engine: str = "reference"
+) -> ScenarioResult:
     """Run one scenario end to end and return its result record.
 
     Used verbatim by the serial path and by pool workers, which is what
-    makes the two execution modes produce identical results.
+    makes the two execution modes produce identical results.  ``engine``
+    selects the simulation engine (``"reference"`` or ``"fast"``; see
+    :mod:`repro.sim.fastsim` — results are bit-identical either way).
     """
     from repro.experiments.common import make_dataset, make_runtime
     from repro.hw.board import msp430fr5994
@@ -60,6 +64,7 @@ def execute_scenario(scenario: Scenario, qmodel: QuantizedModel) -> ScenarioResu
         monitor=monitor,
         stall_limit=scenario.stall_limit,
         give_up_after_dnf=scenario.give_up_after_dnf,
+        engine=engine,
     )
     ds = make_dataset(scenario.task, max(scenario.n_samples, 16),
                       seed=scenario.seed)
@@ -80,15 +85,20 @@ def execute_scenario(scenario: Scenario, qmodel: QuantizedModel) -> ScenarioResu
 # them up per scenario; both functions must be module-level picklables.
 
 _WORKER_MODELS: Dict[Tuple, QuantizedModel] = {}
+_WORKER_ENGINE = "reference"
 
 
-def _init_worker(models: Dict[Tuple, QuantizedModel]) -> None:
+def _init_worker(models: Dict[Tuple, QuantizedModel], engine: str = "reference") -> None:
+    global _WORKER_ENGINE
     _WORKER_MODELS.clear()
     _WORKER_MODELS.update(models)
+    _WORKER_ENGINE = engine
 
 
 def _run_in_worker(scenario: Scenario) -> ScenarioResult:
-    return execute_scenario(scenario, _WORKER_MODELS[scenario.model_key])
+    return execute_scenario(
+        scenario, _WORKER_MODELS[scenario.model_key], engine=_WORKER_ENGINE
+    )
 
 
 class FleetRunner:
@@ -106,7 +116,10 @@ class FleetRunner:
         *,
         parallel: bool = True,
         cache: Optional[ModelCache] = None,
+        engine: str = "reference",
     ) -> None:
+        from repro.sim.fastsim import ENGINES
+
         if workers is None:
             try:
                 workers = len(os.sched_getaffinity(0))
@@ -114,8 +127,13 @@ class FleetRunner:
                 workers = os.cpu_count() or 1
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r} (expected one of {ENGINES})"
+            )
         self.workers = workers
         self.parallel = parallel
+        self.engine = engine
         self.cache = cache if cache is not None else ModelCache()
 
     def prepare_models(
@@ -138,7 +156,10 @@ class FleetRunner:
         if use_pool:
             results = self._run_parallel(scenarios, models)
         else:
-            results = [execute_scenario(s, models[s.model_key]) for s in scenarios]
+            results = [
+                execute_scenario(s, models[s.model_key], engine=self.engine)
+                for s in scenarios
+            ]
         wall_s = time.perf_counter() - t0
         return FleetReport(
             results=results,
@@ -154,7 +175,9 @@ class FleetRunner:
     ) -> List[ScenarioResult]:
         ctx = multiprocessing.get_context()
         procs = min(self.workers, len(scenarios))
-        with ctx.Pool(procs, initializer=_init_worker, initargs=(models,)) as pool:
+        with ctx.Pool(
+            procs, initializer=_init_worker, initargs=(models, self.engine)
+        ) as pool:
             # chunksize=1: scenarios vary widely in cost (DNF-heavy cells
             # finish early, stall-heavy cells drag), so fine-grained
             # dispatch balances the load.  map preserves input order.
@@ -166,6 +189,7 @@ def run_fleet(
     *,
     workers: Optional[int] = None,
     parallel: bool = True,
+    engine: str = "reference",
 ) -> FleetReport:
     """One-call convenience wrapper around :class:`FleetRunner`."""
-    return FleetRunner(workers, parallel=parallel).run(scenarios)
+    return FleetRunner(workers, parallel=parallel, engine=engine).run(scenarios)

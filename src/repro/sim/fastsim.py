@@ -1,0 +1,954 @@
+"""Vectorized fast-path simulation engine, bit-identical to the reference.
+
+:class:`~repro.sim.machine.IntermittentMachine` walks a runtime's atom
+program one Python-level step at a time: every atom pays a stack of calls
+(``Device.execute`` -> ``atom_cost`` -> ``_draw_and_record`` ->
+``EnergyMeter.record`` x3 -> ``EnergyHarvester.draw`` -> capacitor math),
+so fleet throughput is bounded by interpreter overhead rather than by the
+hardware.  The cost model itself is static — per-atom cycle/energy costs
+are fixed once the program is compiled — which makes the walk replayable
+from precomputed tables.  :class:`FastMachine` exploits that in two ways:
+
+* **Continuous power** (``device.supply is None``): a run is a pure
+  straight-line replay.  At compile time the exact sequence of meter
+  bookings the reference would make is emitted into per-ledger-key numpy
+  arrays; at run time each key's end value is ``np.cumsum`` over
+  ``[start, t1, t2, ...]``.  ``cumsum`` is a strictly sequential
+  left-to-right accumulation, i.e. the *same* IEEE-754 additions in the
+  same order as the reference's ``dict[key] += term`` loop — so every
+  RunResult float is bit-identical, not merely close.
+
+* **Harvested power**: brown-out points *cannot* be located analytically
+  without breaking bit-equality.  ``Capacitor.charge``/``draw`` round-trip
+  the voltage through ``sqrt(v**2 +/- 2E/C)`` on every draw; each trip
+  rounds, so skipping "certainly safe" atoms (e.g. via
+  :func:`analytic_brownout_index`) leaves the capacitor a few ulps away
+  from the reference trajectory and can flip a borderline brown-out
+  comparison.  The fast path therefore *replays* the exact scalar
+  recurrence, but from precompiled per-atom cost tables with the supply,
+  meter, and monitor state inlined into local variables — the same
+  arithmetic with none of the per-atom call/dispatch overhead.
+
+The compiled cumulative-energy table still powers
+:func:`analytic_brownout_index`, a ``searchsorted``-based estimator of
+the brown-out atom for planners and benchmarks; it is harvest-blind and
+rounding-blind by construction (accurate to about one atom), which is
+exactly why it is an estimator and not the execution path — see
+DESIGN.md's fast-engine section and the differential conformance suite
+(``tests/test_fastsim_conformance.py``) for the equivalence contract.
+
+``FastMachine`` silently delegates to the reference machine for
+configurations it cannot replay exactly (subclassed device/supply/
+monitor/meter, or harvester voltage logging enabled), so ``engine="fast"``
+is always safe to request.
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InferenceAborted
+from repro.hw import constants as C
+from repro.hw.energymeter import EnergyMeter
+from repro.power.capacitor import Capacitor
+from repro.power.harvester import EnergyHarvester
+from repro.power.monitor import VoltageMonitor
+from repro.power.traces import (
+    ConstantTrace,
+    SolarTrace,
+    SquareWaveTrace,
+    StochasticRFTrace,
+)
+from repro.sim.atoms import total_cycles, validate_program
+from repro.sim.machine import IntermittentMachine
+from repro.sim.results import RunResult
+from repro.sim.runtime import InferenceRuntime
+
+if TYPE_CHECKING:  # avoid a circular import (hw.board uses sim.atoms)
+    from repro.hw.board import Device
+
+#: ``repro.hw.board`` power table, bound lazily for the same reason.
+_POWER_W: Dict[str, float] = {}
+
+
+def _component_power() -> Dict[str, float]:
+    if not _POWER_W:
+        from repro.hw.board import _COMPONENT_POWER_W
+
+        _POWER_W.update(_COMPONENT_POWER_W)
+    return _POWER_W
+
+#: Engine names understood by :func:`make_machine` and the session/fleet/CLI
+#: ``engine=`` flags.
+ENGINES = ("reference", "fast")
+
+
+# ---------------------------------------------------------------------------
+# Program compilation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CompiledProgram:
+    """Precompiled cost tables for one runtime's atom program.
+
+    Every numeric entry is computed with the *same expressions, in the
+    same association order*, as the reference ``Device`` cost methods —
+    that is the whole bit-equality argument, so resist "simplifying" the
+    arithmetic here.  The ``_*_series`` arrays keep index 0 free as a
+    scratch head slot for the running meter value (mutated per run; the
+    tables are not safe for concurrent runs in threads, matching the rest
+    of the simulator).
+    """
+
+    atoms: List  # the runtime's atom list, as compiled
+    commit_on: bool
+    snapshot_on_warning: bool
+    n_atoms: int
+    program_cycles: float
+
+    # -- continuous-path replay tables --------------------------------------
+    cont_executed_cycles: float = 0.0
+    comp_keys: List[str] = field(default_factory=list)
+    purpose_keys: List[str] = field(default_factory=list)
+    _energy_series: Dict[str, np.ndarray] = field(default_factory=dict)
+    _time_series: Dict[str, np.ndarray] = field(default_factory=dict)
+    _purpose_series: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    # -- harvested-path per-atom tables (plain lists: fastest to index from
+    #    the scalar replay loop) --------------------------------------------
+    cycles: List[float] = field(default_factory=list)
+    component: List[str] = field(default_factory=list)
+    purpose: List[str] = field(default_factory=list)
+    power_w: List[float] = field(default_factory=list)
+    divisible: List[bool] = field(default_factory=list)
+    iterations: List[int] = field(default_factory=list)
+    per_iter: List[float] = field(default_factory=list)
+    e_iter: List[float] = field(default_factory=list)
+    mem_unit: List[float] = field(default_factory=list)
+    fram_unit: List[float] = field(default_factory=list)
+    sram_count: List[float] = field(default_factory=list)
+    volatile_words: List[int] = field(default_factory=list)
+    volatile_prev: List[int] = field(default_factory=list)  # len n_atoms + 1
+    exec_bookings: List[list] = field(default_factory=list)
+    exec_time: List[float] = field(default_factory=list)
+    exec_total: List[float] = field(default_factory=list)
+    commit_flag: List[bool] = field(default_factory=list)
+    commit_time: List[float] = field(default_factory=list)
+    commit_cpu: List[float] = field(default_factory=list)
+    commit_fram: List[float] = field(default_factory=list)
+    commit_total: List[float] = field(default_factory=list)
+    commit_bookings: List[Optional[list]] = field(default_factory=list)
+
+    #: Cumulative full-execution draw energy; ``cum_draw_energy[i]`` is the
+    #: supply draw of completing atoms ``[0, i)`` (commit draws included).
+    cum_draw_energy: np.ndarray = field(default_factory=lambda: np.zeros(1))
+
+
+def _commit_cost(words: int) -> Tuple[float, float, float]:
+    """``(time_s, energy_j, fram_j)`` of one progress commit — the exact
+    expressions of :meth:`Device.commit_cost` plus its caller's FRAM split."""
+    cycles = C.COMMIT_BASE_CYCLES + words * C.COMMIT_CYCLES_PER_WORD
+    time_s = cycles * C.CYCLE_S
+    energy = C.CPU_ACTIVE_W * time_s + words * C.FRAM_WRITE_RAW_J
+    fram_j = words * C.FRAM_WRITE_RAW_J
+    return time_s, energy, fram_j
+
+
+def _execute_costs(atom, fraction: float):
+    """Replicate ``Device.atom_cost`` + ``Device.execute`` cost splits."""
+    time_s = atom.cycles * fraction * C.EFFECTIVE_CYCLE_S
+    core_j = _component_power()[atom.component] * time_s
+    mem_j = fraction * (
+        atom.fram_reads * C.FRAM_READ_J
+        + atom.fram_writes * C.FRAM_WRITE_J
+        + atom.sram_accesses * C.SRAM_ACCESS_J
+    )
+    energy_j = core_j + mem_j
+    fram_j = fraction * (
+        atom.fram_reads * C.FRAM_READ_J + atom.fram_writes * C.FRAM_WRITE_J
+    )
+    sram_j = fraction * atom.sram_accesses * C.SRAM_ACCESS_J
+    core_booked = energy_j - fram_j - sram_j
+    return time_s, core_booked, fram_j, sram_j
+
+
+def _exec_booking_list(atom, fraction: float):
+    """Booking tuples + ``_draw_and_record`` total for one full execute."""
+    time_s, core_booked, fram_j, sram_j = _execute_costs(atom, fraction)
+    bookings = [(atom.component, time_s, core_booked, atom.purpose)]
+    total = core_booked  # sum() over booking energies, left to right
+    if fram_j:
+        bookings.append(("fram", 0.0, fram_j, atom.purpose))
+        total = total + fram_j
+    if sram_j:
+        bookings.append(("sram", 0.0, sram_j, atom.purpose))
+        total = total + sram_j
+    return bookings, time_s, total
+
+
+def compile_program(runtime: InferenceRuntime) -> CompiledProgram:
+    """Compile ``runtime``'s atom program into replay tables.
+
+    Atom programs are assumed to be a pure function of the runtime
+    instance (every runtime in this repo memoizes ``build_atoms``); the
+    reference machine re-requests the program per run, the fast machine
+    compiles it once.
+    """
+    atoms = runtime.build_atoms()
+    validate_program(atoms)
+    commit_on = runtime.commit_enabled
+    p = CompiledProgram(
+        atoms=atoms,
+        commit_on=commit_on,
+        snapshot_on_warning=runtime.snapshot_on_warning,
+        n_atoms=len(atoms),
+        program_cycles=total_cycles(atoms),
+    )
+
+    # --- continuous-path event stream (the exact reference booking order) --
+    events: List[Tuple[str, float, float, str]] = []  # (key, time, energy, purpose)
+    exec_sub = 0.0
+    cum_draw = [0.0]
+    for atom in atoms:
+        committing = commit_on and atom.commit
+
+        # Per-atom tables for the harvested replay loop.
+        p.cycles.append(atom.cycles)
+        p.component.append(atom.component)
+        p.purpose.append(atom.purpose)
+        p.power_w.append(_component_power()[atom.component])
+        p.divisible.append(atom.divisible)
+        p.iterations.append(atom.iterations)
+        p.volatile_words.append(atom.volatile_words)
+        p.commit_flag.append(committing)
+        p.mem_unit.append(
+            atom.fram_reads * C.FRAM_READ_J
+            + atom.fram_writes * C.FRAM_WRITE_J
+            + atom.sram_accesses * C.SRAM_ACCESS_J
+        )
+        p.fram_unit.append(
+            atom.fram_reads * C.FRAM_READ_J + atom.fram_writes * C.FRAM_WRITE_J
+        )
+        p.sram_count.append(float(atom.sram_accesses))
+        if committing:
+            ct, ce, cf = _commit_cost(atom.commit_words)
+            ck_cpu = ce - cf
+            p.commit_time.append(ct)
+            p.commit_cpu.append(ck_cpu)
+            p.commit_fram.append(cf)
+            p.commit_total.append(ck_cpu + cf)
+            p.commit_bookings.append(
+                [("cpu", ct, ck_cpu, "checkpoint"), ("fram", 0.0, cf, "checkpoint")]
+            )
+        else:
+            p.commit_time.append(0.0)
+            p.commit_cpu.append(0.0)
+            p.commit_fram.append(0.0)
+            p.commit_total.append(0.0)
+            p.commit_bookings.append(None)
+
+        if atom.divisible:
+            per_iter = 1.0 / atom.iterations
+            time_i = atom.cycles * per_iter * C.EFFECTIVE_CYCLE_S
+            e_iter = _component_power()[atom.component] * time_i + per_iter * (
+                atom.fram_reads * C.FRAM_READ_J
+                + atom.fram_writes * C.FRAM_WRITE_J
+                + atom.sram_accesses * C.SRAM_ACCESS_J
+            )
+            if committing:
+                _, ce, _ = _commit_cost(atom.commit_words)
+                e_iter += ce
+            p.per_iter.append(per_iter)
+            p.e_iter.append(e_iter)
+            fraction = atom.iterations * per_iter  # chunk == all iterations
+        else:
+            p.per_iter.append(1.0)
+            p.e_iter.append(0.0)
+            fraction = 1.0
+
+        bookings, time_s, total = _exec_booking_list(atom, fraction)
+        p.exec_bookings.append(bookings)
+        p.exec_time.append(time_s)
+        p.exec_total.append(total)
+
+        # Continuous-path events: execute, then commit (per reference order).
+        for key, t, e, purpose in bookings:
+            events.append((key, t, e, purpose))
+        atom_draw = total
+        if atom.divisible:
+            exec_sub += atom.cycles * atom.iterations * p.per_iter[-1]
+            if committing:
+                count = atom.iterations
+                tt = p.commit_time[-1] * count
+                ce_b = p.commit_cpu[-1] * count
+                cf_b = p.commit_fram[-1] * count
+                events.append(("cpu", tt, ce_b, "checkpoint"))
+                events.append(("fram", 0.0, cf_b, "checkpoint"))
+                atom_draw = atom_draw + (ce_b + cf_b)
+        else:
+            exec_sub += atom.cycles
+            if committing:
+                events.append(("cpu", p.commit_time[-1], p.commit_cpu[-1], "checkpoint"))
+                events.append(("fram", 0.0, p.commit_fram[-1], "checkpoint"))
+                atom_draw = atom_draw + p.commit_total[-1]
+        cum_draw.append(cum_draw[-1] + atom_draw)
+    p.cont_executed_cycles = 0.0 + exec_sub
+    p.cum_draw_energy = np.asarray(cum_draw, dtype=np.float64)
+
+    p.volatile_prev = [0] + [a.volatile_words for a in atoms]
+
+    # --- group events into per-key series with a head slot -----------------
+    energy_terms: Dict[str, List[float]] = {}
+    time_terms: Dict[str, List[float]] = {}
+    purpose_terms: Dict[str, List[float]] = {}
+    for key, t, e, purpose in events:
+        if key not in energy_terms:
+            p.comp_keys.append(key)
+            energy_terms[key] = []
+            time_terms[key] = []
+        energy_terms[key].append(e)
+        time_terms[key].append(t)
+        if purpose not in purpose_terms:
+            p.purpose_keys.append(purpose)
+            purpose_terms[purpose] = []
+        purpose_terms[purpose].append(e)
+    for key in p.comp_keys:
+        e_arr = np.empty(len(energy_terms[key]) + 1, dtype=np.float64)
+        e_arr[1:] = energy_terms[key]
+        t_arr = np.empty(len(time_terms[key]) + 1, dtype=np.float64)
+        t_arr[1:] = time_terms[key]
+        p._energy_series[key] = e_arr
+        p._time_series[key] = t_arr
+    for key in p.purpose_keys:
+        s_arr = np.empty(len(purpose_terms[key]) + 1, dtype=np.float64)
+        s_arr[1:] = purpose_terms[key]
+        p._purpose_series[key] = s_arr
+    return p
+
+
+def analytic_brownout_index(
+    program: CompiledProgram, budget_j: float, start_atom: int = 0
+) -> int:
+    """Estimate the first atom that cannot complete within ``budget_j``.
+
+    ``searchsorted`` over the compiled cumulative draw-energy table: the
+    largest prefix of atoms (whole atoms; commit draws included) whose
+    total supply draw fits in the budget.  Returns ``program.n_atoms``
+    when everything fits.  This is an *estimator*: it ignores harvest
+    credited during execution (it under-predicts on live supplies) and
+    the capacitor's per-draw rounding (so it can be off by one atom even
+    on a dead supply).  The exact brown-out location is only defined by
+    the replay itself — see the module docstring.
+    """
+    if not 0 <= start_atom <= program.n_atoms:
+        raise ConfigurationError(
+            f"start_atom must be in [0, {program.n_atoms}], got {start_atom}"
+        )
+    if budget_j < 0:
+        raise ConfigurationError("budget_j must be non-negative")
+    cum = program.cum_draw_energy
+    target = cum[start_atom] + budget_j
+    idx = int(np.searchsorted(cum, target, side="right")) - 1
+    return min(idx, program.n_atoms)
+
+
+# ---------------------------------------------------------------------------
+# Program cache
+# ---------------------------------------------------------------------------
+
+
+class ProgramCache:
+    """Memoized :func:`compile_program`, shared per model.
+
+    Mirrors :class:`repro.fleet.cache.ModelCache`: scenarios sharing a
+    quantized model (and runtime type/config) share one compiled program.
+    Keys anchor on the runtime's ``qmodel`` identity plus the attributes
+    that shape its atom program (type, ``use_dma``, ``bcm_mode``); a
+    weakref finalizer evicts entries when the model is collected.
+    Runtimes without a ``qmodel`` attribute (e.g. test toys with ad-hoc
+    atom lists) are compiled uncached — callers keep their own reference.
+    """
+
+    def __init__(self) -> None:
+        self._programs: Dict[Tuple, CompiledProgram] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    def get(self, runtime: InferenceRuntime) -> CompiledProgram:
+        anchor = getattr(runtime, "qmodel", None)
+        if anchor is None:
+            self.misses += 1
+            return compile_program(runtime)
+        key = (
+            type(runtime).__module__,
+            type(runtime).__qualname__,
+            id(anchor),
+            getattr(runtime, "use_dma", None),
+            getattr(runtime, "bcm_mode", None),
+        )
+        program = self._programs.get(key)
+        if program is not None:
+            self.hits += 1
+            return program
+        self.misses += 1
+        program = compile_program(runtime)
+        self._programs[key] = program
+        try:
+            weakref.finalize(anchor, self._programs.pop, key, None)
+        except TypeError:  # pragma: no cover - non-weakref-able anchor
+            pass
+        return program
+
+    def summary(self) -> str:
+        return (
+            f"program cache: {len(self)} compiled programs, "
+            f"{self.hits} hits / {self.misses} misses"
+        )
+
+
+#: Process-wide default cache (fleet workers each get their own process copy).
+PROGRAM_CACHE = ProgramCache()
+
+
+# ---------------------------------------------------------------------------
+# The fast machine
+# ---------------------------------------------------------------------------
+
+
+class FastMachine:
+    """Drop-in replacement for :class:`IntermittentMachine` (``engine="fast"``).
+
+    Same constructor contract and :meth:`run` signature; results are
+    bit-identical (see module docstring).  :meth:`run_deferred` is the
+    session-level entry point that lets callers batch ``compute_logits``
+    across many completed inferences.
+    """
+
+    def __init__(
+        self,
+        device: "Device",
+        runtime: InferenceRuntime,
+        *,
+        monitor: Optional[VoltageMonitor] = None,
+        stall_limit: int = 6,
+        max_reboots: int = 10000,
+        cache: Optional[ProgramCache] = None,
+    ) -> None:
+        if stall_limit < 1 or max_reboots < 1:
+            raise ConfigurationError("stall_limit and max_reboots must be >= 1")
+        if runtime.snapshot_on_warning and device.supply is not None and monitor is None:
+            raise ConfigurationError(
+                f"{runtime.name} needs a VoltageMonitor for on-demand "
+                "checkpointing under harvested power"
+            )
+        self.device = device
+        self.runtime = runtime
+        self.monitor = monitor
+        self.stall_limit = stall_limit
+        self.max_reboots = max_reboots
+        self._cache = cache if cache is not None else PROGRAM_CACHE
+        self._program: Optional[CompiledProgram] = None
+        self._fallback: Optional[IntermittentMachine] = None
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, x: np.ndarray) -> RunResult:
+        """Execute one inference on sample ``x`` and return statistics."""
+        result, _ = self.run_deferred(x, defer_logits=False)
+        return result
+
+    def run_deferred(
+        self, x: np.ndarray, *, defer_logits: bool = True
+    ) -> Tuple[RunResult, bool]:
+        """Like :meth:`run`, optionally leaving ``logits``/``predicted_class``
+        unset on completed results.
+
+        Returns ``(result, needs_logits)``; when ``needs_logits`` is true
+        the caller owns filling both fields (sessions batch this via
+        :meth:`~repro.sim.runtime.InferenceRuntime.compute_logits_batch`).
+        """
+        if self._needs_fallback():
+            if self._fallback is None:
+                self._fallback = IntermittentMachine(
+                    self.device,
+                    self.runtime,
+                    monitor=self.monitor,
+                    stall_limit=self.stall_limit,
+                    max_reboots=self.max_reboots,
+                )
+            return self._fallback.run(x), False
+        if self._program is None:
+            self._program = self._cache.get(self.runtime)
+        if self.device.supply is None:
+            return self._run_continuous(x, defer_logits)
+        return self._run_harvested(x, defer_logits)
+
+    @property
+    def program(self) -> CompiledProgram:
+        """The compiled program (compiling on first access)."""
+        if self._program is None:
+            self._program = self._cache.get(self.runtime)
+        return self._program
+
+    # -- internals ----------------------------------------------------------
+
+    def _needs_fallback(self) -> bool:
+        """Exact replay only covers the stock simulator classes."""
+        from repro.hw.board import Device
+
+        device = self.device
+        if type(device) is not Device or type(device.meter) is not EnergyMeter:
+            return True
+        supply = device.supply
+        if supply is not None:
+            if type(supply) is not EnergyHarvester or supply.voltage_log is not None:
+                return True
+            if type(supply.capacitor) is not Capacitor:
+                return True
+            # The reference path calls trace.energy twice per draw (the
+            # replay calls it once): only provably pure stock traces are
+            # safe to replay; custom subclasses delegate.
+            if type(supply.trace) not in (
+                ConstantTrace, SquareWaveTrace, StochasticRFTrace, SolarTrace,
+            ):
+                return True
+        if self.monitor is not None and type(self.monitor) is not VoltageMonitor:
+            return True
+        return False
+
+    @staticmethod
+    def _diff(old: Dict[str, float], new: Dict[str, float], new_keys) -> Dict[str, float]:
+        """Replicate ``EnergyMeter.diff``: end-meter key order, ``end - start``."""
+        out = {}
+        for key, start in old.items():
+            end = new.get(key, start)
+            out[key] = end - start
+        for key in new_keys:
+            if key not in old:
+                out[key] = new[key] - 0.0
+        return out
+
+    def _finish_logits(self, x, completed: bool, defer_logits: bool):
+        if not completed:
+            return None, None, False
+        if defer_logits:
+            return None, None, True
+        logits = self.runtime.compute_logits(x)
+        return logits, int(np.argmax(logits)), False
+
+    def _run_continuous(self, x, defer_logits: bool) -> Tuple[RunResult, bool]:
+        p = self._program
+        meter = self.device.meter
+        new_e: Dict[str, float] = {}
+        new_t: Dict[str, float] = {}
+        new_p: Dict[str, float] = {}
+        for key in p.comp_keys:
+            series = p._energy_series[key]
+            series[0] = meter.energy_j.get(key, 0.0)
+            new_e[key] = float(np.cumsum(series)[-1])
+            series = p._time_series[key]
+            series[0] = meter.time_s.get(key, 0.0)
+            new_t[key] = float(np.cumsum(series)[-1])
+        for key in p.purpose_keys:
+            series = p._purpose_series[key]
+            series[0] = meter.purpose_energy_j.get(key, 0.0)
+            new_p[key] = float(np.cumsum(series)[-1])
+
+        diff_e = self._diff(meter.energy_j, new_e, p.comp_keys)
+        diff_t = self._diff(meter.time_s, new_t, p.comp_keys)
+        diff_p = self._diff(meter.purpose_energy_j, new_p, p.purpose_keys)
+
+        for key in p.comp_keys:
+            meter.energy_j[key] = new_e[key]
+            meter.time_s[key] = new_t[key]
+        for key in p.purpose_keys:
+            meter.purpose_energy_j[key] = new_p[key]
+
+        active = sum(diff_t.values())
+        energy = sum(diff_e.values())
+        logits, pred, needs = self._finish_logits(x, True, defer_logits)
+        result = RunResult(
+            runtime=self.runtime.name,
+            completed=True,
+            logits=logits,
+            predicted_class=pred,
+            wall_time_s=active,
+            active_time_s=active,
+            charge_time_s=0.0,
+            energy_j=energy,
+            energy_by_component=diff_e,
+            checkpoint_energy_j=diff_p.get("checkpoint", 0.0),
+            reboots=0,
+            executed_cycles=p.cont_executed_cycles,
+            program_cycles=p.program_cycles,
+            dnf_reason="",
+        )
+        return result, needs
+
+    def _run_harvested(self, x, defer_logits: bool) -> Tuple[RunResult, bool]:
+        # The exact-replay loop.  Local-variable mirrors of the supply,
+        # meter and monitor state; every expression matches its reference
+        # counterpart operation for operation (see module docstring).
+        p = self._program
+        device = self.device
+        supply = device.supply
+        cap = supply.capacitor
+        trace = supply.trace
+        eff = supply.efficiency
+        meter = device.meter
+        runtime = self.runtime
+        monitor = self.monitor
+
+        cap_f = cap.capacitance_f
+        v_max = cap.v_max
+        v_off = cap.v_off
+        v_off_sq = v_off ** 2
+        half_c = 0.5 * cap_f
+        const_power = trace.power_w if type(trace) is ConstantTrace else None
+        trace_energy = trace.energy
+
+        e_by = dict(meter.energy_j)
+        t_by = dict(meter.time_s)
+        p_by = dict(meter.purpose_energy_j)
+        start_e = dict(e_by)
+        start_t = dict(t_by)
+        start_p = dict(p_by)
+
+        v = cap.voltage
+        clock = supply.clock_s
+        failures = supply.failures
+        clock_start = clock
+        charge_start = supply.charge_time_s
+
+        snapshot_on = p.snapshot_on_warning and monitor is not None
+        v_warn = monitor.v_warn if monitor is not None else 0.0
+        mon_warnings = monitor.warnings if monitor is not None else 0
+
+        e_get = e_by.get
+        t_get = t_by.get
+        p_get = p_by.get
+
+        def draw(bookings, time_s, total_j):
+            """``Device._draw_and_record`` + ``EnergyHarvester.draw`` +
+            ``Capacitor.charge``/``draw`` + the meter records, inlined."""
+            nonlocal v, clock, failures
+            avail = half_c * (v ** 2 - v_off_sq)
+            if avail < 0.0:
+                avail = 0.0
+            if const_power is not None:
+                harvested = (const_power * time_s) * eff
+            else:
+                harvested = trace_energy(clock, time_s) * eff
+            clock += time_s
+            new_sq = v ** 2 + 2.0 * harvested / cap_f
+            root = math.sqrt(new_sq)
+            v = root if root < v_max else v_max
+            usable = half_c * (v ** 2 - v_off_sq)
+            if usable < 0.0:
+                usable = 0.0
+            if total_j > usable:
+                v = v_off
+                failures += 1
+                spent = avail + harvested
+                if total_j < spent:
+                    spent = total_j
+                scale = spent / total_j if total_j > 0 else 0.0
+                for compo, t, e, purpose in bookings:
+                    t = t * scale
+                    e = e * scale
+                    e_by[compo] = e_get(compo, 0.0) + e
+                    t_by[compo] = t_get(compo, 0.0) + t
+                    p_by[purpose] = p_get(purpose, 0.0) + e
+                return False
+            new_sq = v ** 2 - 2.0 * total_j / cap_f
+            if new_sq < v_off_sq:
+                new_sq = v_off_sq
+            v = math.sqrt(new_sq)
+            for compo, t, e, purpose in bookings:
+                e_by[compo] = e_get(compo, 0.0) + e
+                t_by[compo] = t_get(compo, 0.0) + t
+                p_by[purpose] = p_get(purpose, 0.0) + e
+            return True
+
+        n_atoms = p.n_atoms
+        cycles_l = p.cycles
+        power_l = p.power_w
+        purpose_l = p.purpose
+        component_l = p.component
+        divisible_l = p.divisible
+        iterations_l = p.iterations
+        per_iter_l = p.per_iter
+        e_iter_l = p.e_iter
+        mem_unit_l = p.mem_unit
+        fram_unit_l = p.fram_unit
+        sram_count_l = p.sram_count
+        exec_bookings_l = p.exec_bookings
+        exec_time_l = p.exec_time
+        exec_total_l = p.exec_total
+        commit_flag_l = p.commit_flag
+        commit_time_l = p.commit_time
+        commit_cpu_l = p.commit_cpu
+        commit_fram_l = p.commit_fram
+        commit_total_l = p.commit_total
+        commit_bookings_l = p.commit_bookings
+        volatile_words_l = p.volatile_words
+        volatile_prev_l = p.volatile_prev
+
+        durable_atom = 0
+        durable_it = 0
+        cursor_atom = 0
+        cursor_it = 0
+        executed_cycles = 0.0
+        reboots = 0
+        stall = 0
+        last_da, last_di = -1, -1
+        dnf_reason = ""
+        completed = False
+
+        while True:
+            # === the reference's _run_from(atoms, cursor, durable) ===
+            sub_exec = 0.0
+            browned = False
+            while cursor_atom < n_atoms:
+                ca = cursor_atom
+                if snapshot_on and (
+                    durable_atom < ca
+                    or (durable_atom == ca and durable_it < cursor_it)
+                ):
+                    low = v <= v_warn
+                    if low:
+                        mon_warnings += 1
+                        vol = 0 if cursor_it > 0 else volatile_prev_l[ca]
+                        words = vol + C.FLEX_COMMIT_WORDS
+                        ct, ce, cf = _commit_cost(words)
+                        ck_cpu = ce - cf
+                        if not draw(
+                            [("cpu", ct, ck_cpu, "checkpoint"),
+                             ("fram", 0.0, cf, "checkpoint")],
+                            ct,
+                            ck_cpu + cf,
+                        ):
+                            browned = True
+                            break
+                        durable_atom, durable_it = ca, cursor_it
+
+                if divisible_l[ca]:
+                    # === _run_divisible ===
+                    iters = iterations_l[ca]
+                    per_iter = per_iter_l[ca]
+                    e_iter = e_iter_l[ca]
+                    e_iter_floor = e_iter if e_iter > 1e-18 else 1e-18
+                    a_cycles = cycles_l[ca]
+                    a_power = power_l[ca]
+                    a_purpose = purpose_l[ca]
+                    a_comp = component_l[ca]
+                    a_mem = mem_unit_l[ca]
+                    a_fram = fram_unit_l[ca]
+                    a_sram = sram_count_l[ca]
+                    committing = commit_flag_l[ca]
+                    div_exec = 0.0
+                    chunk_failed = False
+                    while cursor_it < iters:
+                        remaining = iters - cursor_it
+                        usable_now = half_c * (v ** 2 - v_off_sq)
+                        if usable_now < 0.0:
+                            usable_now = 0.0
+                        chunk = int(usable_now / e_iter_floor)
+                        if chunk > remaining:
+                            chunk = remaining
+                        if chunk < 1:
+                            chunk = 1
+                        f = chunk * per_iter
+                        time_s = a_cycles * f * C.EFFECTIVE_CYCLE_S
+                        core_j = a_power * time_s
+                        energy_j = core_j + f * a_mem
+                        fram_j = f * a_fram
+                        sram_j = f * a_sram * C.SRAM_ACCESS_J
+                        core_booked = energy_j - fram_j - sram_j
+                        bookings = [(a_comp, time_s, core_booked, a_purpose)]
+                        total = core_booked
+                        if fram_j:
+                            bookings.append(("fram", 0.0, fram_j, a_purpose))
+                            total = total + fram_j
+                        if sram_j:
+                            bookings.append(("sram", 0.0, sram_j, a_purpose))
+                            total = total + sram_j
+                        if not draw(bookings, time_s, total):
+                            chunk_failed = True
+                            break
+                        div_exec += a_cycles * chunk * per_iter
+                        if committing:
+                            count = chunk
+                            tt = commit_time_l[ca] * count
+                            ce_b = commit_cpu_l[ca] * count
+                            cf_b = commit_fram_l[ca] * count
+                            if not draw(
+                                [("cpu", tt, ce_b, "checkpoint"),
+                                 ("fram", 0.0, cf_b, "checkpoint")],
+                                tt,
+                                ce_b + cf_b,
+                            ):
+                                chunk_failed = True
+                                break
+                        cursor_it += chunk
+                        if committing and volatile_words_l[ca] == 0:
+                            durable_atom = ca
+                            durable_it = cursor_it
+                    if chunk_failed:
+                        browned = True
+                        break
+                    sub_exec += div_exec
+                    cursor_atom = ca + 1
+                    cursor_it = 0
+                    if committing and volatile_words_l[ca] == 0:
+                        durable_atom, durable_it = cursor_atom, 0
+                else:
+                    if not draw(exec_bookings_l[ca], exec_time_l[ca], exec_total_l[ca]):
+                        browned = True
+                        break
+                    sub_exec += cycles_l[ca]
+                    cursor_atom = ca + 1
+                    cursor_it = 0
+                    if commit_flag_l[ca]:
+                        if not draw(
+                            commit_bookings_l[ca],
+                            commit_time_l[ca],
+                            commit_total_l[ca],
+                        ):
+                            browned = True
+                            break
+                        if volatile_words_l[ca] == 0:
+                            durable_atom, durable_it = cursor_atom, 0
+
+            if not browned:
+                executed_cycles = executed_cycles + sub_exec
+                completed = True
+                break
+
+            # === the reference's PowerFailureError handler ===
+            reboots += 1
+            device.on_power_failure()
+            if reboots >= self.max_reboots:
+                dnf_reason = f"exceeded max_reboots={self.max_reboots}"
+                break
+            if durable_atom == last_da and durable_it == last_di:
+                stall += 1
+                if stall >= self.stall_limit:
+                    dnf_reason = (
+                        f"no durable progress across {stall} power cycles"
+                    )
+                    break
+            else:
+                stall = 0
+            last_da, last_di = durable_atom, durable_it
+            cap.voltage = v
+            supply.clock_s = clock
+            supply.failures = failures
+            try:
+                supply.recharge()
+            except InferenceAborted as exc:
+                v = cap.voltage
+                clock = supply.clock_s
+                dnf_reason = str(exc)
+                break
+            v = cap.voltage
+            clock = supply.clock_s
+            restore = runtime.restore_words()
+            if restore:
+                vol = 0 if durable_it > 0 else volatile_prev_l[durable_atom]
+                words = restore + vol
+                rcycles = C.COMMIT_BASE_CYCLES + words * C.COMMIT_CYCLES_PER_WORD
+                rtime = rcycles * C.CYCLE_S
+                rcpu = C.CPU_ACTIVE_W * rtime
+                rfram = words * C.FRAM_READ_RAW_J
+                if not draw(
+                    [("cpu", rtime, rcpu, "checkpoint"),
+                     ("fram", 0.0, rfram, "checkpoint")],
+                    rtime,
+                    rcpu + rfram,
+                ):
+                    continue  # pathological: failed during restore
+            cursor_atom, cursor_it = durable_atom, durable_it
+
+        # === write back state and assemble the RunResult ===
+        cap.voltage = v
+        supply.clock_s = clock
+        supply.failures = failures
+        if monitor is not None:
+            monitor.warnings = mon_warnings
+        for key, val in e_by.items():
+            meter.energy_j[key] = val
+        for key, val in t_by.items():
+            meter.time_s[key] = val
+        for key, val in p_by.items():
+            meter.purpose_energy_j[key] = val
+
+        diff_e = self._diff(start_e, e_by, [k for k in e_by if k not in start_e])
+        diff_t = self._diff(start_t, t_by, [k for k in t_by if k not in start_t])
+        diff_p = self._diff(start_p, p_by, [k for k in p_by if k not in start_p])
+
+        logits, pred, needs = self._finish_logits(x, completed, defer_logits)
+        active = sum(diff_t.values())
+        charge = supply.charge_time_s - charge_start
+        wall = supply.clock_s - clock_start
+        result = RunResult(
+            runtime=runtime.name,
+            completed=completed,
+            logits=logits,
+            predicted_class=pred,
+            wall_time_s=wall,
+            active_time_s=active,
+            charge_time_s=charge,
+            energy_j=sum(diff_e.values()),
+            energy_by_component=diff_e,
+            checkpoint_energy_j=diff_p.get("checkpoint", 0.0),
+            reboots=reboots,
+            executed_cycles=executed_cycles,
+            program_cycles=p.program_cycles,
+            dnf_reason=dnf_reason,
+        )
+        return result, needs
+
+
+# ---------------------------------------------------------------------------
+# Engine selection
+# ---------------------------------------------------------------------------
+
+
+def make_machine(
+    device: "Device",
+    runtime: InferenceRuntime,
+    *,
+    engine: str = "reference",
+    monitor: Optional[VoltageMonitor] = None,
+    stall_limit: int = 6,
+    max_reboots: int = 10000,
+):
+    """Build the requested simulation engine over ``(device, runtime)``.
+
+    ``engine="reference"`` is the stepwise :class:`IntermittentMachine`;
+    ``engine="fast"`` is the precompiled :class:`FastMachine` (bit-identical
+    results, falls back to the reference for exotic configurations).
+    """
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r} (expected one of {ENGINES})"
+        )
+    if engine == "fast":
+        return FastMachine(
+            device, runtime, monitor=monitor, stall_limit=stall_limit,
+            max_reboots=max_reboots,
+        )
+    return IntermittentMachine(
+        device, runtime, monitor=monitor, stall_limit=stall_limit,
+        max_reboots=max_reboots,
+    )

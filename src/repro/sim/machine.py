@@ -74,6 +74,14 @@ class IntermittentMachine:
 
     # -- public API -----------------------------------------------------------
 
+    def run_deferred(self, x: np.ndarray, *, defer_logits: bool = True):
+        """Engine-interface twin of :meth:`FastMachine.run_deferred`.
+
+        The reference machine has no bulk-logits path, so this always
+        computes logits inline and reports nothing pending.
+        """
+        return self.run(x), False
+
     def run(self, x: np.ndarray) -> RunResult:
         """Execute one inference on sample ``x`` and return statistics."""
         atoms = self.runtime.build_atoms()

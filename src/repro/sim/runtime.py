@@ -47,6 +47,18 @@ class InferenceRuntime:
         """Numeric inference for a single sample ``x`` (no batch dim)."""
         raise NotImplementedError
 
+    def compute_logits_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Logits for a batch of samples, row ``i`` bit-identical to
+        ``compute_logits(xs[i])``.
+
+        The fast session path (:mod:`repro.sim.fastsim`) defers logits and
+        computes them in one call; the fixed-point pipeline is integer
+        arithmetic, so the concrete runtimes override this with a single
+        batched ``qmodel.forward`` without changing a single bit.  This
+        default falls back to the per-sample path, which is always exact.
+        """
+        return np.stack([self.compute_logits(x) for x in xs])
+
     def restore_words(self) -> int:
         """FRAM words read back when resuming after a power failure."""
         return 2 if self.commit_enabled else 0

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.power.monitor import VoltageMonitor
-from repro.sim.machine import IntermittentMachine
+from repro.sim.fastsim import make_machine
 from repro.sim.results import RunResult
 from repro.sim.runtime import InferenceRuntime
 
@@ -90,7 +90,16 @@ class SessionStats:
 
 
 class SensingSession:
-    """Run a stream of samples through one runtime on a shared supply."""
+    """Run a stream of samples through one runtime on a shared supply.
+
+    ``engine`` selects the simulation engine: ``"reference"`` (the
+    stepwise :class:`~repro.sim.machine.IntermittentMachine`) or
+    ``"fast"`` (the precompiled :class:`~repro.sim.fastsim.FastMachine`,
+    bit-identical results — see ``repro.sim.fastsim``).  The fast path
+    additionally batches ``compute_logits`` across the session's
+    completed inferences, which is exact because the quantized pipeline
+    is integer arithmetic.
+    """
 
     def __init__(
         self,
@@ -100,27 +109,48 @@ class SensingSession:
         monitor: Optional[VoltageMonitor] = None,
         stall_limit: int = 6,
         give_up_after_dnf: int = 2,
+        engine: str = "reference",
     ) -> None:
         if give_up_after_dnf < 1:
             raise ConfigurationError("give_up_after_dnf must be >= 1")
-        self.machine = IntermittentMachine(
-            device, runtime, monitor=monitor, stall_limit=stall_limit
+        self.machine = make_machine(
+            device, runtime, engine=engine, monitor=monitor,
+            stall_limit=stall_limit,
         )
+        self.engine = engine
         self.runtime = runtime
         self.give_up_after_dnf = give_up_after_dnf
 
     def run(self, samples: np.ndarray) -> SessionStats:
         """Process ``samples`` sequentially; stops early after repeated
-        DNFs (a dead supply will never recover within the session)."""
+        DNFs (a dead supply will never recover within the session).
+
+        The fast engine defers logits during the loop and fills them in
+        one batch afterwards (``pending`` stays empty on the reference
+        engine).  ``compute_logits`` never touches device/supply/meter
+        state, so moving it after the bookkeeping loop cannot change any
+        simulated number, and batching is bit-exact on the integer
+        inference path (asserted by the conformance suite).
+        """
         stats = SessionStats(runtime=self.runtime.name)
         consecutive_dnf = 0
+        pending = []  # (result, sample) pairs awaiting logits
         for x in samples:
-            result = self.machine.run(x)
+            result, needs_logits = self.machine.run_deferred(x)
             stats.results.append(result)
+            if needs_logits:
+                pending.append((result, x))
             if result.completed:
                 consecutive_dnf = 0
             else:
                 consecutive_dnf += 1
                 if consecutive_dnf >= self.give_up_after_dnf:
                     break
+        if pending:
+            logits = self.runtime.compute_logits_batch(
+                np.stack([x for _, x in pending])
+            )
+            for (result, _), row in zip(pending, logits):
+                result.logits = row
+                result.predicted_class = int(np.argmax(row))
         return stats

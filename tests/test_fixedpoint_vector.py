@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 
 from repro.errors import QuantizationError
 from repro.fixedpoint import OverflowMonitor, QComplexVector, QVector
+from repro.fixedpoint.q15 import INT16_MAX, INT16_MIN
+from repro.fixedpoint.vector import _shift_right_rounded
 
 
 class TestQVector:
@@ -89,6 +91,85 @@ class TestQComplexVector:
                 im=np.zeros(4, dtype=np.int16),
                 exp=0,
             )
+
+
+class TestShiftRightRoundedBoundaries:
+    """Rounding at the int16 rails — the half-LSB bias that the LEA's
+    rounded shifts introduce must stay inside the int64 workspace and
+    only saturate at the final ``saturate16``."""
+
+    def test_no_shift_is_identity(self):
+        arr = np.array([INT16_MIN, -1, 0, 1, INT16_MAX], dtype=np.int64)
+        assert _shift_right_rounded(arr, 0) is arr
+        assert _shift_right_rounded(arr, -3) is arr
+
+    def test_rounds_half_away_from_zero_at_max(self):
+        # INT16_MAX == 0x7fff: shifting by one rounds the trailing 1 up.
+        arr = np.array([INT16_MAX], dtype=np.int64)
+        assert _shift_right_rounded(arr, 1)[0] == (INT16_MAX + 1) // 2
+
+    def test_int16_min_shifts_exactly(self):
+        # INT16_MIN is a power of two: no rounding residue at any shift.
+        arr = np.array([INT16_MIN], dtype=np.int64)
+        for amount in (1, 2, 5, 15):
+            assert _shift_right_rounded(arr, amount)[0] == INT16_MIN >> amount
+
+    def test_negative_half_rounds_toward_zero(self):
+        # Python/numpy arithmetic shift floors, so -1 + bias -> 0.
+        arr = np.array([-1, -2, -3], dtype=np.int64)
+        out = _shift_right_rounded(arr, 1)
+        assert out.tolist() == [0, -1, -1]
+
+    def test_large_shift_of_wide_accumulator(self):
+        # A 2**40-scale accumulator shifted onto the int16 grid.
+        arr = np.array([(INT16_MAX << 25) + (1 << 24)], dtype=np.int64)
+        assert _shift_right_rounded(arr, 25)[0] == INT16_MAX + 1
+
+    def test_rescale_down_saturates_at_int16_min(self):
+        monitor = OverflowMonitor()
+        v = QVector(data=np.array([INT16_MIN, INT16_MAX], dtype=np.int16), exp=2)
+        w = v.rescale(0, monitor=monitor)
+        assert w.data.tolist() == [INT16_MIN, INT16_MAX]
+        assert monitor.total == 2  # both ends saturated on the finer grid
+
+    def test_rescale_up_rounds_min_exactly(self):
+        v = QVector(data=np.array([INT16_MIN], dtype=np.int16), exp=0)
+        w = v.rescale(3)
+        assert w.data[0] == INT16_MIN >> 3
+        assert w.to_float()[0] == pytest.approx(v.to_float()[0])
+
+
+class TestFromFloatDenormals:
+    """``QVector.from_float`` on denormal-small inputs must quantize to
+    zero (not crash, not produce garbage exponents)."""
+
+    def test_smallest_denormal_quantizes_to_zero(self):
+        v = QVector.from_float([5e-324, -5e-324])
+        assert v.exp == 0
+        assert v.data.tolist() == [0, 0]
+        assert v.to_float().tolist() == [0.0, 0.0]
+
+    def test_denormal_peak_keeps_exp_zero(self):
+        v = QVector.from_float(np.full(8, 1e-310))
+        assert v.exp == 0
+        assert not np.any(v.data)
+
+    def test_half_lsb_boundary(self):
+        # Exactly half an LSB rounds to even (np.rint): 2**-16 -> 0.
+        lsb = 2.0 ** -15
+        v = QVector.from_float([lsb / 2, lsb / 2 + lsb / 4, -lsb / 2])
+        assert v.data.tolist() == [0, 1, 0]
+
+    def test_negative_full_scale_is_exact(self):
+        v = QVector.from_float([-1.0])
+        assert v.exp == 1  # peak 1.0 needs headroom: magnitudes < 2**1
+        assert v.to_float()[0] == -1.0
+
+    def test_denormal_complex_inputs(self):
+        z = np.array([5e-324 + 5e-324j, 0j])
+        qz = QComplexVector.from_complex_floats(z)
+        assert qz.exp == 0
+        assert not np.any(qz.re) and not np.any(qz.im)
 
 
 @settings(max_examples=100, deadline=None)

@@ -209,6 +209,36 @@ class TestRunner:
         with pytest.raises(ConfigurationError):
             FleetRunner(workers=0)
 
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            FleetRunner(workers=1, engine="warp")
+
+    def test_fast_engine_identical_to_reference(self):
+        """The fast engine's bit-identity contract holds fleet-wide."""
+        grid = _small_grid()
+        cache = ModelCache()
+        reference = FleetRunner(workers=1, cache=cache).run(grid)
+        fast = FleetRunner(workers=1, cache=cache, engine="fast").run(grid)
+        for a, b in zip(reference.results, fast.results):
+            assert a.scenario == b.scenario
+            assert a.labels == b.labels
+            assert a.overflow_events == b.overflow_events
+            assert len(a.stats.results) == len(b.stats.results)
+            for ra, rb in zip(a.stats.results, b.stats.results):
+                assert ra.completed == rb.completed
+                assert ra.wall_time_s == rb.wall_time_s
+                assert ra.energy_j == rb.energy_j
+                assert ra.energy_by_component == rb.energy_by_component
+                assert ra.reboots == rb.reboots
+                assert ra.predicted_class == rb.predicted_class
+                if ra.logits is None:
+                    assert rb.logits is None
+                else:
+                    assert np.array_equal(ra.logits, rb.logits)
+        # Identical numbers render identical tables (timing metadata aside).
+        assert [r.row() for r in reference.results] == \
+            [r.row() for r in fast.results]
+
 
 def _synthetic_report():
     def result(runtime, completed, wall, energy, reboots):
@@ -253,6 +283,53 @@ class TestReport:
         # second: only the completed inference counts, it hit label 0
         assert report.results[1].accuracy == pytest.approx(1.0)
 
+    def test_all_dnf_scenario_aggregates_cleanly(self):
+        """A fully failed cell: no completed inferences, so the energy and
+        reboot distributions are empty and every percentile is 0.0."""
+        def dnf(wall):
+            return RunResult(runtime="BASE", completed=False,
+                             wall_time_s=wall, energy_j=5e-4, reboots=12,
+                             dnf_reason="no durable progress")
+
+        stats = SessionStats(runtime="BASE", results=[dnf(3.0), dnf(2.0)])
+        report = FleetReport(results=[
+            ScenarioResult(Scenario(name="dead", runtime="BASE", n_samples=2),
+                           stats, labels=(0, 1)),
+        ])
+        agg = report.aggregate()["BASE"]
+        assert agg.dnf_rate == 1.0
+        assert agg.energy_mj_per_inf == []
+        assert agg.reboots_per_inf == []
+        assert agg.percentile(agg.energy_mj_per_inf, 50) == 0.0
+        assert agg.throughput_hz == [0.0]
+        assert report.results[0].accuracy == 0.0
+        assert report.total_completed == 0
+        text = report.render()
+        assert "100.0%" in text  # the DNF column
+        assert "0/2 inferences" in text
+
+    def test_empty_labels_accuracy_is_zero(self):
+        stats = SessionStats(runtime="BASE", results=[])
+        result = ScenarioResult(Scenario(name="n", n_samples=1), stats)
+        assert result.accuracy == 0.0
+
+    def test_single_sample_percentiles_collapse(self):
+        """With one observation every percentile must be that observation."""
+        one = SessionStats(runtime="TAILS", results=[
+            RunResult(runtime="TAILS", completed=True, predicted_class=0,
+                      wall_time_s=2.0, energy_j=4e-3, reboots=3),
+        ])
+        report = FleetReport(results=[
+            ScenarioResult(Scenario(name="solo", runtime="TAILS", n_samples=1),
+                           one, labels=(0,)),
+        ])
+        agg = report.aggregate()["TAILS"]
+        for q in (0, 10, 50, 90, 100):
+            assert agg.percentile(agg.throughput_hz, q) == pytest.approx(0.5)
+            assert agg.percentile(agg.energy_mj_per_inf, q) == pytest.approx(4.0)
+            assert agg.percentile(agg.reboots_per_inf, q) == pytest.approx(3.0)
+        assert agg.dnf_rate == 0.0
+
     def test_render_contains_tables(self):
         text = _synthetic_report().render()
         assert "Fleet report: 2 scenarios" in text
@@ -271,6 +348,14 @@ class TestCli:
         assert args.command == "fleet"
         assert args.serial and args.workers == 2
         assert args.task == ["mnist", "har"]
+        assert args.engine == "reference"
+        fast = build_parser().parse_args(["fleet", "--engine", "fast"])
+        assert fast.engine == "fast"
+
+    def test_fleet_fast_engine_smoke(self, capsys):
+        assert main(["fleet", "--serial", "--samples", "1", "--engine",
+                     "fast", "--no-scenarios"]) == 0
+        assert "Fleet report:" in capsys.readouterr().out
 
     def test_fleet_smoke(self, capsys):
         assert main(["fleet", "--serial", "--samples", "1",

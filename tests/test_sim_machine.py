@@ -181,6 +181,28 @@ class TestDnfAndValidation:
         assert not res.completed
         assert "max_reboots" in res.dnf_reason
 
+    def test_failure_during_restore_terminates(self):
+        """The pathological branch at machine.py's restore step: a capacitor
+        whose swing is smaller than the restore cost browns out *inside*
+        restore on every cycle.  The machine must keep cycling (the
+        ``continue`` path skips the cursor reset) and still land on a stall
+        DNF; restore brown-outs hit the supply's failure counter but are
+        not reboots."""
+        h = EnergyHarvester(
+            ConstantTrace(2e-6),  # weak: recharge stops right at v_on
+            Capacitor(0.1e-6, v_on=1.81, v_off=1.8, v_max=3.6),
+            charge_timeout_s=1.0,
+        )
+        dev = Device(supply=h)
+        atoms = [cpu_atom(50000, commit=True, label=f"a{i}", layer=i)
+                 for i in range(4)]
+        res = IntermittentMachine(dev, ToyRuntime(atoms), stall_limit=3).run(
+            np.zeros(2)
+        )
+        assert not res.completed
+        assert "no durable progress" in res.dnf_reason
+        assert h.failures > res.reboots  # restore failures are extra
+
     def test_dead_supply_reports_reason(self):
         h = EnergyHarvester(
             ConstantTrace(0.0),
