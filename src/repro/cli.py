@@ -10,7 +10,10 @@ Usage::
     python -m repro ablations
     python -m repro sweep [--axis capacitor|power|trace] [--task ...]
     python -m repro fleet [--task ...] [--workers N] [--serial] [--samples K]
-                          [--engine reference|fast]
+                          [--engine reference|fast] [--corpus [NAME ...]]
+    python -m repro traces list
+    python -m repro traces describe NAME [--seed N]
+    python -m repro traces export NAME --out FILE [--seed N]
     python -m repro all [--fast]
 """
 
@@ -101,12 +104,17 @@ def _cmd_sweep(args) -> None:
 
 
 def _cmd_fleet(args) -> None:
-    from repro.fleet import FleetRunner, default_grid
+    from repro.fleet import FleetRunner, corpus_traces, default_grid
 
+    traces = None
+    if args.corpus is not None:
+        # --corpus with no names sweeps the whole registered corpus.
+        traces = corpus_traces(args.corpus or None)
     grid = default_grid(
         tasks=tuple(args.task) if args.task else ("mnist",),
         n_samples=args.samples,
         base_seed=args.seed,
+        traces=traces,
     )
     runner = FleetRunner(args.workers, parallel=not args.serial,
                          engine=args.engine)
@@ -114,6 +122,38 @@ def _cmd_fleet(args) -> None:
     print(report.render(per_scenario=not args.no_scenarios))
     print()
     print(runner.cache.summary())
+
+
+def _cmd_traces(args) -> None:
+    from repro.errors import ConfigurationError
+    from repro.power import CORPUS
+
+    # Reject ignored arguments (same stance as TraceSpec's per-kind
+    # field validation: silently dropping input hides mistakes).
+    if args.action == "list":
+        if args.name:
+            raise ConfigurationError(
+                "traces list takes no NAME (use 'describe' for one entry)")
+        if args.out:
+            raise ConfigurationError("--out only applies to 'export'")
+        print(CORPUS.summary_table(seed=args.seed))
+        return
+    if not args.name:
+        raise ConfigurationError(f"traces {args.action} needs an entry NAME")
+    if args.action == "describe":
+        if args.out:
+            raise ConfigurationError("--out only applies to 'export'")
+        print(CORPUS.describe(args.name, seed=args.seed))
+        return
+    # export
+    if not args.out:
+        raise ConfigurationError("traces export needs --out FILE (.csv or .npz)")
+    trace = CORPUS.get(args.name, seed=args.seed)
+    if args.out.endswith(".npz"):
+        trace.to_npz(args.out)
+    else:
+        trace.to_csv(args.out)
+    print(f"wrote {args.name} (seed {args.seed}) to {args.out}: {trace!r}")
 
 
 def _cmd_all(args) -> None:
@@ -172,6 +212,20 @@ def build_parser() -> argparse.ArgumentParser:
                          "bit-identical results)")
     pf.add_argument("--no-scenarios", action="store_true",
                     help="omit the per-scenario table")
+    pf.add_argument("--corpus", nargs="*", metavar="NAME", default=None,
+                    help="sweep corpus-backed supplies instead of the "
+                         "analytic default traces (no names = whole corpus; "
+                         "see 'repro traces list')")
+
+    pt = sub.add_parser("traces",
+                        help="power-trace corpus: list/describe/export")
+    pt.add_argument("action", choices=("list", "describe", "export"))
+    pt.add_argument("name", nargs="?",
+                    help="corpus entry (describe/export)")
+    pt.add_argument("--seed", type=int, default=0,
+                    help="rendering seed (default 0)")
+    pt.add_argument("--out", help="export path; .npz for binary, "
+                                  "anything else writes CSV")
 
     pa = sub.add_parser("all", help="everything (slow)")
     pa.add_argument("--fast", action="store_true")
@@ -187,6 +241,7 @@ _COMMANDS = {
     "ablations": _cmd_ablations,
     "sweep": _cmd_sweep,
     "fleet": _cmd_fleet,
+    "traces": _cmd_traces,
     "all": _cmd_all,
 }
 

@@ -26,6 +26,7 @@ from repro.fleet.cache import ModelCache
 from repro.fleet.grid import (
     DEFAULT_RUNTIMES,
     DEFAULT_TRACES,
+    corpus_traces,
     default_grid,
     scenario_grid,
     scenario_seed,
@@ -45,6 +46,7 @@ __all__ = [
     "ScenarioResult",
     "TRACE_KINDS",
     "TraceSpec",
+    "corpus_traces",
     "default_grid",
     "execute_scenario",
     "run_fleet",

@@ -13,10 +13,11 @@ perturbs the other cells.
 from __future__ import annotations
 
 import zlib
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.fleet.scenario import Scenario, TraceSpec
+from repro.power import CORPUS
 
 #: The fleet-study default supplies: the paper's square wave, a bursty
 #: RF-like source, and a slow solar-like sinusoid, all near the testbed's
@@ -31,6 +32,36 @@ DEFAULT_TRACES = (
 #: ship (BASE and plain ACE DNF under harvested power; include them
 #: explicitly to study failure envelopes).
 DEFAULT_RUNTIMES = ("SONIC", "TAILS", "ACE+FLEX")
+
+
+def corpus_traces(
+    names: Optional[Sequence[str]] = None,
+    *,
+    power_w: float = 0.0,
+    seeds: Sequence[int] = (0,),
+) -> Tuple[TraceSpec, ...]:
+    """Corpus-backed :class:`TraceSpec` axis: ``names`` x ``seeds``.
+
+    ``names=None`` sweeps the whole registered corpus (sorted order).
+    ``power_w > 0`` rescales every entry to that mean power so the axis
+    isolates supply *shape* from supply *level*; the default keeps each
+    entry's native scale.  Unknown names fail here, before a grid is
+    built around them.  The seed axis applies only to *seeded* entries;
+    a deterministic entry (``seeded=False`` in the registry, e.g. a
+    recording) contributes exactly one cell — replicating it per seed
+    would sweep identical supplies under different scenario names.
+    """
+    if names is None:
+        names = CORPUS.names()
+    if not names or not seeds:
+        raise ConfigurationError("corpus_traces needs >= 1 name and seed")
+    for name in names:
+        CORPUS.entry(name)  # fail fast with the known-names message
+    return tuple(
+        TraceSpec("corpus", power_w, corpus=name, seed=seed)
+        for name in names
+        for seed in (seeds if CORPUS.entry(name).seeded else (0,))
+    )
 
 
 def scenario_seed(name: str, base_seed: int = 0) -> int:
@@ -91,14 +122,18 @@ def default_grid(
     n_samples: int = 4,
     base_seed: int = 0,
     caps_uf: Optional[Sequence[float]] = None,
+    traces: Optional[Sequence[TraceSpec]] = None,
 ) -> List[Scenario]:
     """The standard fleet study: 3 traces x 2 capacitors x 3 runtimes.
 
     Per task that is 18 scenarios — diverse enough for distribution
-    statistics, small enough to run in seconds.
+    statistics, small enough to run in seconds.  ``traces`` swaps the
+    supply axis (e.g. :func:`corpus_traces` for a corpus-driven fleet)
+    while keeping the standard capacitor/runtime axes.
     """
     return scenario_grid(
         tasks=tasks,
+        traces=DEFAULT_TRACES if traces is None else traces,
         caps_uf=(100.0, 220.0) if caps_uf is None else caps_uf,
         n_samples=n_samples,
         base_seed=base_seed,

@@ -17,11 +17,13 @@ traces reproducible — the trace seed travels with the spec.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.power import (
+    CORPUS,
     Capacitor,
     ConstantTrace,
     EnergyHarvester,
@@ -32,7 +34,16 @@ from repro.power import (
 )
 
 #: Trace kinds understood by :class:`TraceSpec`.
-TRACE_KINDS = ("constant", "square", "rf", "solar")
+TRACE_KINDS = ("constant", "square", "rf", "solar", "corpus")
+
+#: Which fields each kind interprets (``kind``/``power_w`` always count).
+_USED_FIELDS = {
+    "constant": frozenset(),
+    "square": frozenset({"period_s", "duty"}),
+    "rf": frozenset({"period_s", "duty", "seed"}),
+    "solar": frozenset({"period_s"}),
+    "corpus": frozenset({"seed", "corpus"}),
+}
 
 
 @dataclass(frozen=True)
@@ -42,7 +53,7 @@ class TraceSpec:
     ``kind`` selects the profile; the remaining fields are interpreted per
     kind:
 
-    * ``"constant"`` — steady ``power_w``; ``period_s``/``duty`` unused.
+    * ``"constant"`` — steady ``power_w``.
     * ``"square"``   — the paper's function-generator profile:
       ``power_w`` during the first ``duty`` fraction of each ``period_s``.
     * ``"rf"``       — bursty ambient-RF harvesting with mean power
@@ -50,28 +61,66 @@ class TraceSpec:
       ``(1 - duty) * period_s``, pre-generated from ``seed``.
     * ``"solar"``    — clipped sinusoid peaking at ``power_w`` every
       ``period_s``.
+    * ``"corpus"``   — the named :data:`repro.power.CORPUS` entry
+      ``corpus``, rendered under ``seed`` in whichever process runs the
+      scenario; ``power_w > 0`` rescales the rendering to that mean
+      power (``power_w = 0`` keeps the entry's native scale).
+
+    ``power_w`` left unset resolves per kind: 5 mW for the analytic
+    profiles (the testbed's level), *native scale* (0) for corpus
+    entries — a terse corpus spec must not silently renormalize every
+    entry to one level and flatten the supply-level axis.
+
+    A field the selected kind does *not* interpret must be left at its
+    default: a non-default value is rejected at construction.  Silently
+    ignoring it would let a grid sweep (say, RF seeds applied to a
+    square-wave axis) collapse into duplicate cells that differ only in
+    name — a bug that shows up as suspiciously tight fleet
+    distributions, not as an error.
     """
 
     kind: str = "square"
-    power_w: float = 5e-3
+    power_w: Optional[float] = None
     period_s: float = 0.05
     duty: float = 0.3
     seed: int = 0
+    corpus: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in TRACE_KINDS:
             raise ConfigurationError(
                 f"unknown trace kind {self.kind!r} (expected one of {TRACE_KINDS})"
             )
+        if self.power_w is None:  # per-kind default, see class docstring
+            object.__setattr__(
+                self, "power_w", 0.0 if self.kind == "corpus" else 5e-3)
         if self.power_w < 0 or self.period_s <= 0 or not 0.0 < self.duty <= 1.0:
             raise ConfigurationError(
                 f"invalid trace spec (power={self.power_w}, "
                 f"period={self.period_s}, duty={self.duty})"
             )
+        used = _USED_FIELDS[self.kind]
+        for name, default in _DEFAULTS.items():
+            if name not in used and getattr(self, name) != default:
+                raise ConfigurationError(
+                    f"{self.kind!r} traces do not use {name!r} "
+                    f"(got {getattr(self, name)!r}); a non-default value "
+                    "would silently produce a duplicate scenario"
+                )
         if self.kind == "rf" and self.duty >= 1.0:
             # Fail at construction, not in a worker's build(): an RF trace
             # needs a non-zero mean off-time.
             raise ConfigurationError("rf traces need duty < 1.0")
+        if self.seed < 0:
+            # Same fail-fast stance: numpy rejects negative rng seeds,
+            # but only once build() runs inside a worker.
+            raise ConfigurationError(f"trace seed must be >= 0, got {self.seed}")
+        if self.kind == "corpus" and not self.corpus:
+            raise ConfigurationError(
+                "corpus traces need an entry name (e.g. "
+                "TraceSpec('corpus', corpus='rf-markov')); unknown names "
+                "fail in build() against the live registry"
+            )
 
     def build(self) -> PowerTrace:
         """Instantiate the concrete :class:`PowerTrace`."""
@@ -86,24 +135,44 @@ class TraceSpec:
                 mean_off_s=(1.0 - self.duty) * self.period_s,
                 seed=self.seed,
             )
+        if self.kind == "corpus":
+            trace = CORPUS.get(self.corpus, seed=self.seed)
+            if self.power_w > 0.0:
+                trace = trace.scale_to_mean_power(self.power_w)
+            return trace
         return SolarTrace(self.power_w, period_s=self.period_s)
 
     def label(self) -> str:
         """Short distinguishing tag (used in scenario names).
 
-        Non-default period/duty (and, for RF, a non-zero seed) are
+        Non-default period/duty (and, where used, a non-zero seed) are
         appended so that grids sweeping those axes — e.g. a fleet on
         i.i.d. RF supplies with different seeds — get unique scenario
         names, which the runner requires.
         """
-        parts = [f"{self.kind}@{self.power_w * 1e3:g}mW"]
-        if self.period_s != 0.05:
-            parts.append(f"p{self.period_s * 1e3:g}ms")
-        if self.duty != 0.3:
-            parts.append(f"d{self.duty * 100:g}")
-        if self.kind == "rf" and self.seed != 0:
+        if self.kind == "corpus":
+            parts = [f"corpus:{self.corpus}"]
+            if self.power_w > 0.0:
+                parts.append(f"{self.power_w * 1e3:g}mW")
+        else:
+            parts = [f"{self.kind}@{self.power_w * 1e3:g}mW"]
+            if self.period_s != 0.05:
+                parts.append(f"p{self.period_s * 1e3:g}ms")
+            if self.duty != 0.3:
+                parts.append(f"d{self.duty * 100:g}")
+        if self.seed != 0:
             parts.append(f"s{self.seed}")
         return "-".join(parts)
+
+
+#: Defaults of the per-kind-ignorable fields, derived from the dataclass
+#: definition itself so the rejection logic cannot drift from the field
+#: declarations.
+_DEFAULTS = {
+    f.name: f.default
+    for f in dataclasses.fields(TraceSpec)
+    if f.name in ("period_s", "duty", "seed", "corpus")
+}
 
 
 @dataclass(frozen=True)

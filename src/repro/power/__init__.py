@@ -1,6 +1,18 @@
-"""Energy-harvesting supply models: traces, capacitor, harvester, monitor."""
+"""Energy-harvesting supply models: traces, capacitor, harvester, monitor.
+
+Analytic profiles live in :mod:`repro.power.traces`; recorded/generated
+supplies are :class:`EmpiricalTrace` (:mod:`repro.power.empirical`),
+rendered on demand from the named :data:`CORPUS`
+(:mod:`repro.power.corpus`, families in :mod:`repro.power.generators`).
+"""
 
 from repro.power.capacitor import Capacitor
+from repro.power.corpus import CORPUS, CorpusEntry, TraceCorpus
+from repro.power.empirical import (
+    END_POLICIES,
+    EmpiricalTrace,
+    TraceStats,
+)
 from repro.power.harvester import EnergyHarvester
 from repro.power.monitor import VoltageMonitor
 from repro.power.traces import (
@@ -12,12 +24,18 @@ from repro.power.traces import (
 )
 
 __all__ = [
+    "CORPUS",
     "Capacitor",
     "ConstantTrace",
+    "CorpusEntry",
+    "EmpiricalTrace",
+    "END_POLICIES",
     "EnergyHarvester",
     "PowerTrace",
     "SolarTrace",
     "SquareWaveTrace",
     "StochasticRFTrace",
+    "TraceCorpus",
+    "TraceStats",
     "VoltageMonitor",
 ]

@@ -1,0 +1,199 @@
+"""The named power-trace corpus: supply diversity as data.
+
+A :class:`TraceCorpus` maps entry names to seeded factories that render
+:class:`~repro.power.empirical.EmpiricalTrace` supplies on demand — no
+binary blobs in the repo, yet ``corpus.get("kinetic-walk", seed=7)`` is
+exactly reproducible everywhere (the factory re-renders from the seed).
+The bundled default corpus, :data:`CORPUS`, covers the generative
+families of :mod:`repro.power.generators` plus composed profiles, and is
+the supply vocabulary behind ``TraceSpec(kind="corpus", ...)`` fleet
+sweeps and the ``python -m repro traces`` CLI.
+
+Entries are small factories, so registering project-specific recordings
+is one call (``seeded=False`` because a recording ignores the seed —
+the registry then refuses seed sweeps that would replicate it under
+different scenario names)::
+
+    from repro.power import CORPUS, EmpiricalTrace
+    CORPUS.register("lab-logger",
+                    lambda seed: EmpiricalTrace.from_csv("lab.csv"),
+                    "bench logger capture, 2 kHz", seeded=False)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.power import generators
+from repro.power.empirical import EmpiricalTrace, TraceStats
+
+#: A corpus factory: ``seed -> EmpiricalTrace`` (deterministic per seed).
+TraceFactory = Callable[[int], EmpiricalTrace]
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One registered trace family: a factory plus its one-line story.
+
+    ``seeded=False`` marks entries whose rendering ignores the seed
+    (deterministic recordings): the registry then rejects non-zero
+    seeds, so a seed sweep cannot silently replicate identical supplies
+    under different scenario names.
+    """
+
+    name: str
+    factory: TraceFactory
+    description: str
+    seeded: bool = True
+
+
+class TraceCorpus:
+    """Name -> seeded-trace registry with on-demand rendering.
+
+    ``get(name, seed=...)`` renders (and memoizes) the trace;
+    ``names()`` lists entries; ``describe(name)`` pairs the description
+    with the seed-0 rendering's statistics.  Rendering is deterministic
+    per ``(name, seed)``, so fleet workers can materialize corpus
+    supplies independently and still agree bit-for-bit.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CorpusEntry] = {}
+        self._rendered: Dict[Tuple[str, int], EmpiricalTrace] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def register(
+        self,
+        name: str,
+        factory: TraceFactory,
+        description: str,
+        *,
+        seeded: bool = True,
+    ) -> None:
+        """Add an entry; names are unique and stable once registered.
+
+        Pass ``seeded=False`` for deterministic factories (recordings,
+        fixed renderings) so seed sweeps over them fail loudly instead
+        of multiplying one supply into many named duplicates.
+        """
+        if not name:
+            raise ConfigurationError("corpus entry needs a non-empty name")
+        if name in self._entries:
+            raise ConfigurationError(f"corpus entry {name!r} already registered")
+        self._entries[name] = CorpusEntry(name, factory, description, seeded)
+
+    def names(self) -> List[str]:
+        """All entry names, sorted (stable sweep order for grids)."""
+        return sorted(self._entries)
+
+    def entry(self, name: str) -> CorpusEntry:
+        if name not in self._entries:
+            raise ConfigurationError(
+                f"unknown corpus entry {name!r} (have: {', '.join(self.names())})"
+            )
+        return self._entries[name]
+
+    def get(self, name: str, seed: int = 0) -> EmpiricalTrace:
+        """Render entry ``name`` under ``seed`` (memoized per pair)."""
+        entry = self.entry(name)
+        if seed != 0 and not entry.seeded:
+            raise ConfigurationError(
+                f"corpus entry {name!r} is deterministic (seeded=False): "
+                f"seed {seed} would duplicate the seed-0 supply under a "
+                "different scenario name"
+            )
+        key = (name, seed)
+        trace = self._rendered.get(key)
+        if trace is None:
+            trace = entry.factory(seed)
+            if not isinstance(trace, EmpiricalTrace):
+                raise ConfigurationError(
+                    f"corpus factory {name!r} returned "
+                    f"{type(trace).__name__}, expected EmpiricalTrace"
+                )
+            self._rendered[key] = trace
+        return trace
+
+    def stats(self, name: str, seed: int = 0) -> TraceStats:
+        return self.get(name, seed).stats()
+
+    def describe(self, name: str, seed: int = 0) -> str:
+        entry = self.entry(name)
+        return f"{entry.name}: {entry.description}\n  {self.stats(name, seed).summary()}"
+
+    def summary_table(self, seed: int = 0) -> str:
+        """The ``repro traces list`` table: every entry with its stats.
+
+        ``seed`` renders the seeded entries; deterministic ones always
+        show their single (seed-0) rendering.
+        """
+        header = (
+            f"{'entry':<16} {'dur':>7} {'mean':>9} {'peak':>9} "
+            f"{'outage':>7} {'bursts':>7}  description"
+        )
+        lines = [header, "-" * len(header)]
+        for name in self.names():
+            s = self.stats(name, seed if self._entries[name].seeded else 0)
+            lines.append(
+                f"{name:<16} {s.duration_s:>6.1f}s "
+                f"{s.mean_power_w * 1e3:>7.3f}mW {s.peak_power_w * 1e3:>7.3f}mW "
+                f"{s.outage_fraction * 100:>6.1f}% {s.n_bursts:>7d}  "
+                f"{self._entries[name].description}"
+            )
+        return "\n".join(lines)
+
+
+def _mixed_day(seed: int) -> EmpiricalTrace:
+    """A composed profile exercising the transform algebra: office WiFi
+    into a cloudy midday into an evening walk, with connector glitches."""
+    morning = generators.office_wifi(seed, day_s=60.0, office_fraction=0.9)
+    midday = generators.diurnal_solar(seed + 1, day_s=120.0, cloudiness=0.4)
+    evening = generators.kinetic_walk(seed + 2, duration_s=60.0)
+    day = morning.slice(0.0, 54.0).concat(
+        midday.slice(12.0, 108.0)).concat(evening)
+    return day.with_outages(rate_hz=1.0 / 30.0, mean_outage_s=1.5, seed=seed)
+
+
+def _default_corpus() -> TraceCorpus:
+    corpus = TraceCorpus()
+    corpus.register(
+        "rf-markov", lambda seed: generators.markov_rf(seed),
+        "Markov-modulated RF bursts (off/scrap/beam chain)")
+    corpus.register(
+        "wifi-office", lambda seed: generators.office_wifi(seed),
+        "office WiFi duty pattern: beacon bursts in work hours")
+    corpus.register(
+        "solar-clear", lambda seed: generators.diurnal_solar(seed, cloudiness=0.0),
+        "clear-sky diurnal solar (compressed day)", seeded=False)
+    corpus.register(
+        "solar-cloudy", lambda seed: generators.diurnal_solar(seed, cloudiness=0.5),
+        "diurnal solar with random cloud fronts")
+    corpus.register(
+        "kinetic-walk", lambda seed: generators.kinetic_walk(seed),
+        "piezo step impulses: walking bouts with rests")
+    corpus.register(
+        "kinetic-jog",
+        lambda seed: generators.kinetic_walk(
+            seed, step_hz=2.8, peak_power_w=7e-3, walk_bout_s=45.0,
+            rest_bout_s=8.0),
+        "faster, harder steps: jogging with short rests")
+    corpus.register(
+        "testbed-square", generators.testbed_square,
+        "the paper's function-generator square wave, recorded",
+        seeded=False)
+    corpus.register(
+        "mixed-day", _mixed_day,
+        "office WiFi -> cloudy solar -> evening walk, with outages")
+    return corpus
+
+
+#: The bundled synthetic corpus (process-wide; fleet workers rebuild it
+#: per process from the same seeds, so entries agree everywhere).
+CORPUS = _default_corpus()

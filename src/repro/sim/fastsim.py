@@ -56,6 +56,7 @@ from repro.errors import ConfigurationError, InferenceAborted
 from repro.hw import constants as C
 from repro.hw.energymeter import EnergyMeter
 from repro.power.capacitor import Capacitor
+from repro.power.empirical import EmpiricalTrace
 from repro.power.harvester import EnergyHarvester
 from repro.power.monitor import VoltageMonitor
 from repro.power.traces import (
@@ -516,9 +517,14 @@ class FastMachine:
                 return True
             # The reference path calls trace.energy twice per draw (the
             # replay calls it once): only provably pure stock traces are
-            # safe to replay; custom subclasses delegate.
+            # safe to replay; custom subclasses delegate.  EmpiricalTrace
+            # qualifies — its energy is a pure function of (t, dt); the
+            # internal segment hint is a lookup accelerator that never
+            # changes a returned value — which is what keeps the whole
+            # corpus on the fast path.
             if type(supply.trace) not in (
                 ConstantTrace, SquareWaveTrace, StochasticRFTrace, SolarTrace,
+                EmpiricalTrace,
             ):
                 return True
         if self.monitor is not None and type(self.monitor) is not VoltageMonitor:

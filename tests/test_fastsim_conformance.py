@@ -3,10 +3,11 @@
 The fast engine's contract (``repro.sim.fastsim``) is *bit-identity*:
 every RunResult field — floats included — must equal the reference
 machine's, along with the post-run supply, meter, and monitor state.
-These tests enforce that over seeded randomized atom programs, the four
-power-trace families, the model-zoo runtimes, and the reference
-machine's edge cases (max_reboots exhaustion, stall DNF, failure during
-restore, supply-exhaustion aborts).
+These tests enforce that over seeded randomized atom programs, the
+power-trace families (analytic plus corpus-backed EmpiricalTrace, all
+end policies), the model-zoo runtimes, and the reference machine's edge
+cases (max_reboots exhaustion, stall DNF, failure during restore,
+supply-exhaustion aborts).
 """
 
 import numpy as np
@@ -16,8 +17,10 @@ from repro.errors import ConfigurationError
 from repro.experiments.common import make_dataset, make_runtime, prepare_quantized
 from repro.hw.board import Device, msp430fr5994
 from repro.power import (
+    CORPUS,
     Capacitor,
     ConstantTrace,
+    EmpiricalTrace,
     EnergyHarvester,
     SolarTrace,
     SquareWaveTrace,
@@ -163,7 +166,7 @@ def random_program(rng):
 
 def random_supply(rng):
     """A random harvester weak enough to force brown-outs."""
-    kind = rng.choice(["constant", "square", "rf", "solar"])
+    kind = rng.choice(["constant", "square", "rf", "solar", "corpus"])
     power = float(rng.choice([5e-4, 1.5e-3, 3e-3, 6e-3]))
     if kind == "constant":
         trace = ConstantTrace(power)
@@ -172,6 +175,10 @@ def random_supply(rng):
                                 float(rng.choice([0.3, 0.5, 0.8])))
     elif kind == "rf":
         trace = StochasticRFTrace(power, seed=int(rng.integers(0, 100)))
+    elif kind == "corpus":
+        name = str(rng.choice(["rf-markov", "kinetic-walk", "wifi-office"]))
+        trace = CORPUS.get(name, seed=int(rng.integers(0, 4)))
+        trace = trace.scale_to_mean_power(power)
     else:
         trace = SolarTrace(power, period_s=float(rng.choice([0.5, 2.0])))
     cap = Capacitor(float(rng.choice([10e-6, 33e-6, 100e-6])))
@@ -234,6 +241,8 @@ def trace_for(kind):
         return SquareWaveTrace(5e-3, 0.05, 0.3)
     if kind == "rf":
         return StochasticRFTrace(1.5e-3, seed=7)
+    if kind.startswith("corpus:"):
+        return CORPUS.get(kind.split(":", 1)[1], seed=7).scale_to_mean_power(2e-3)
     return SolarTrace(5e-3, period_s=1.0)
 
 
@@ -247,7 +256,9 @@ def zoo_session(qmodel, runtime_name, engine, kind):
 
 
 class TestZooConformance:
-    @pytest.mark.parametrize("kind", ["constant", "square", "rf", "solar"])
+    @pytest.mark.parametrize("kind", ["constant", "square", "rf", "solar",
+                                      "corpus:rf-markov",
+                                      "corpus:kinetic-walk"])
     @pytest.mark.parametrize("runtime_name", ["SONIC", "TAILS", "ACE+FLEX"])
     def test_harvested_sessions(self, mnist_q, mnist_x, runtime_name, kind):
         ref, dev_ref = zoo_session(mnist_q, runtime_name, "reference", kind)
@@ -373,6 +384,54 @@ class TestEdgeCases:
         atoms = [cpu_atom(1000, commit=True, fram_writes=8, sram=16,
                           label=f"a{i}", layer=i) for i in range(5)]
         run_pair(atoms, n_runs=4, context="carryover")
+
+
+# ---------------------------------------------------------------------------
+# Corpus-backed supplies: EmpiricalTrace on the exact-replay path
+# ---------------------------------------------------------------------------
+
+
+class TestCorpusSupplies:
+    def test_empirical_trace_stays_on_fast_path(self):
+        """EmpiricalTrace is whitelisted (its energy is a pure function of
+        (t, dt)), so corpus supplies must NOT fall back to the reference
+        machine — that is the whole point of pre-rendering generators."""
+        supply = EnergyHarvester(CORPUS.get("rf-markov"), Capacitor(20e-6))
+        machine = FastMachine(Device(supply=supply), ToyRuntime([cpu_atom(100)]))
+        assert not machine._needs_fallback()
+
+    @pytest.mark.parametrize("end", ["loop", "hold", "dead"])
+    def test_end_policies_conform(self, end):
+        """All three end-of-trace policies replay identically: loop wraps
+        mid-session, hold keeps harvesting, dead eventually aborts the
+        recharge — each exercising a different brown-out pattern."""
+        def make_supply():
+            trace = EmpiricalTrace(
+                [0.0, 0.004, 0.01, 0.02], [6e-3, 0.0, 2.5e-3], end=end)
+            return EnergyHarvester(trace, Capacitor(20e-6),
+                                   charge_timeout_s=0.5)
+
+        atoms = [cpu_atom(20000, commit=True, label=f"a{i}", layer=i)
+                 for i in range(12)]
+        results = run_pair(atoms, make_supply=make_supply, stall_limit=4,
+                           max_reboots=200, context=f"corpus-end-{end}")
+        if end == "dead":  # a dead recording cannot recharge forever
+            assert not results[0].completed
+            assert "too little energy" in results[0].dnf_reason
+
+    def test_loop_wraps_many_cycles_in_one_session(self):
+        """A short recording under a long multi-inference session: the
+        clock laps the trace hundreds of times and every wrap must land
+        on the same prefix-sum cell in both engines."""
+        trace = CORPUS.get("testbed-square").slice(0.0, 0.1)  # 2 periods
+        run_pair(
+            [cpu_atom(30000, commit=True, label=f"a{i}", layer=i)
+             for i in range(8)],
+            make_supply=lambda: EnergyHarvester(
+                trace, Capacitor(33e-6), charge_timeout_s=2.0),
+            n_runs=3,
+            context="corpus-loop-wrap",
+        )
 
 
 # ---------------------------------------------------------------------------

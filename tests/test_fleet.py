@@ -12,6 +12,7 @@ from repro.fleet import (
     Scenario,
     ScenarioResult,
     TraceSpec,
+    corpus_traces,
     default_grid,
     scenario_grid,
     scenario_seed,
@@ -68,6 +69,31 @@ class TestTraceSpec:
         c = TraceSpec("rf", 1e-3, seed=2).build()
         assert a.energy(0.0, 0.5) == b.energy(0.0, 0.5)
         assert a.energy(0.0, 0.5) != c.energy(0.0, 0.5)
+
+    def test_rejects_parameters_the_kind_ignores(self):
+        """A non-default value for an uninterpreted field is a spec bug:
+        sweeping it would silently collapse grid cells into duplicates
+        (e.g. ten 'square' seeds = ten identical supplies)."""
+        with pytest.raises(ConfigurationError, match="seed"):
+            TraceSpec("square", 1e-3, seed=5)
+        with pytest.raises(ConfigurationError, match="period_s"):
+            TraceSpec("constant", 1e-3, period_s=0.1)
+        with pytest.raises(ConfigurationError, match="duty"):
+            TraceSpec("constant", 1e-3, duty=0.5)
+        with pytest.raises(ConfigurationError, match="seed"):
+            TraceSpec("constant", 1e-3, seed=1)
+        with pytest.raises(ConfigurationError, match="duty"):
+            TraceSpec("solar", 1e-3, period_s=1.0, duty=0.5)
+        with pytest.raises(ConfigurationError, match="seed"):
+            TraceSpec("solar", 1e-3, period_s=1.0, seed=3)
+        with pytest.raises(ConfigurationError, match="corpus"):
+            TraceSpec("square", 1e-3, corpus="rf-markov")
+        with pytest.raises(ConfigurationError, match="period_s"):
+            TraceSpec("corpus", 1e-3, corpus="rf-markov", period_s=0.1)
+        # Defaults (and genuinely-used fields) stay accepted.
+        TraceSpec("constant", 1e-3)
+        TraceSpec("rf", 1e-3, period_s=0.1, duty=0.5, seed=9)
+        TraceSpec("corpus", 0.0, corpus="rf-markov", seed=9)
 
 
 class TestScenario:
@@ -239,6 +265,38 @@ class TestRunner:
         assert [r.row() for r in reference.results] == \
             [r.row() for r in fast.results]
 
+    def test_corpus_grid_fast_identical_to_reference(self):
+        """The acceptance bar for corpus supplies: a grid over >= 4
+        corpus entries is bit-identical between the engines (and the
+        supplies are genuinely distinct cells, not collapsed duplicates)."""
+        grid = scenario_grid(
+            tasks=("mnist",),
+            runtimes=("TAILS",),
+            traces=corpus_traces(
+                ("rf-markov", "solar-cloudy", "kinetic-walk", "wifi-office"),
+                power_w=2e-3,
+            ),
+            caps_uf=(100.0,),
+            n_samples=2,
+        )
+        assert len(grid) == 4
+        cache = ModelCache()
+        reference = FleetRunner(workers=1, cache=cache).run(grid)
+        fast = FleetRunner(workers=1, cache=cache, engine="fast").run(grid)
+        for a, b in zip(reference.results, fast.results):
+            assert len(a.stats.results) == len(b.stats.results)
+            for ra, rb in zip(a.stats.results, b.stats.results):
+                assert ra.completed == rb.completed
+                assert ra.wall_time_s == rb.wall_time_s
+                assert ra.energy_j == rb.energy_j
+                assert ra.energy_by_component == rb.energy_by_component
+                assert ra.reboots == rb.reboots
+        # Different supplies produce different trajectories: no two
+        # scenarios of this grid may agree on total wall time.
+        walls = [sum(r.wall_time_s for r in res.stats.results)
+                 for res in reference.results]
+        assert len(set(walls)) == len(walls)
+
 
 def _synthetic_report():
     def result(runtime, completed, wall, energy, reboots):
@@ -356,6 +414,17 @@ class TestCli:
         assert main(["fleet", "--serial", "--samples", "1", "--engine",
                      "fast", "--no-scenarios"]) == 0
         assert "Fleet report:" in capsys.readouterr().out
+
+    def test_fleet_corpus_smoke(self, capsys):
+        assert main(["fleet", "--serial", "--samples", "1", "--engine",
+                     "fast", "--corpus", "rf-markov", "mixed-day"]) == 0
+        out = capsys.readouterr().out
+        assert "corpus:rf-markov" in out
+        assert "corpus:mixed-day" in out
+
+    def test_fleet_corpus_rejects_unknown_entry(self):
+        with pytest.raises(ConfigurationError):
+            main(["fleet", "--serial", "--corpus", "no-such-entry"])
 
     def test_fleet_smoke(self, capsys):
         assert main(["fleet", "--serial", "--samples", "1",

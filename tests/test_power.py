@@ -1,5 +1,7 @@
 """Tests for the energy-harvesting supply (traces, capacitor, harvester)."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -10,6 +12,7 @@ from repro.power import (
     Capacitor,
     ConstantTrace,
     EnergyHarvester,
+    PowerTrace,
     SolarTrace,
     SquareWaveTrace,
     StochasticRFTrace,
@@ -56,6 +59,24 @@ class TestTraces:
         tr = SolarTrace(5e-3, period_s=10.0)
         assert tr.power(7.5) == 0.0  # negative half clipped
         assert tr.power(2.5) == pytest.approx(5e-3)
+
+    def test_solar_closed_form_full_period(self):
+        # One period of the clipped sine integrates to P*T/pi exactly.
+        tr = SolarTrace(5e-3, period_s=1.0)
+        assert tr.energy(0.0, 1.0) == pytest.approx(5e-3 / math.pi, rel=1e-12)
+        assert tr.energy(0.5, 0.5) == 0.0  # entirely in the clipped half
+        assert tr.energy(0.0, 0.0) == 0.0
+        assert SolarTrace(0.0, 1.0).energy(0.0, 10.0) == 0.0
+
+    def test_solar_closed_form_matches_numeric_integration(self):
+        """The generic numeric path (kept as this cross-check) must agree
+        with the closed-form clipped-sine integral."""
+        tr = SolarTrace(5e-3, period_s=1.0)
+        for t, dt in [(0.0, 1.0), (0.1, 0.3), (0.4, 0.2), (2.7, 5.9),
+                      (123.456, 0.25), (-1.3, 2.0)]:
+            numeric = PowerTrace.energy(tr, t, dt)
+            assert tr.energy(t, dt) == pytest.approx(numeric, rel=1e-5,
+                                                     abs=1e-12)
 
     def test_negative_dt_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -177,6 +198,32 @@ def test_property_square_wave_energy_bounded(power, t0, dt):
     tr = SquareWaveTrace(power, period_s=0.1, duty=0.5)
     e = tr.energy(t0, dt)
     assert 0.0 <= e <= power * dt + 1e-15
+
+
+@pytest.mark.parametrize("trace", [
+    ConstantTrace(2e-3),
+    SquareWaveTrace(5e-3, period_s=0.05, duty=0.3),
+    StochasticRFTrace(1.5e-3, seed=7),
+    SolarTrace(5e-3, period_s=1.0),
+], ids=["constant", "square", "rf", "solar"])
+@settings(max_examples=40, deadline=None)
+@given(
+    t=st.floats(min_value=0.0, max_value=30.0),
+    a=st.floats(min_value=0.0, max_value=5.0),
+    b=st.floats(min_value=0.0, max_value=5.0),
+)
+def test_property_trace_energy_additivity(trace, t, a, b):
+    """Windowed energies must be additive for every trace family:
+    energy(t, a) + energy(t + a, b) == energy(t, a + b) to fp tolerance.
+    (EmpiricalTrace's version, including end policies, lives in
+    tests/test_corpus.py.)
+
+    The absolute tolerance admits StochasticRFTrace's designed segment
+    -walk epsilon: its loop stops once the remaining window is <= 1e-12 s,
+    so every window may drop up to peak_power * 1e-12 J (~6e-15 here)."""
+    lhs = trace.energy(t, a) + trace.energy(t + a, b)
+    rhs = trace.energy(t, a + b)
+    assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-13)
 
 
 @settings(max_examples=50, deadline=None)
