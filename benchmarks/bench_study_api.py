@@ -1,0 +1,57 @@
+"""S1 — the unified study API's contracts, measured end to end.
+
+Claims asserted here (the API-consolidation analogue of the paper-facing
+benchmarks):
+
+1. **Engine identity through the executor.**  ``run_study("fig7",
+   engine="fast")`` produces a ResultTable bit-identical to the
+   reference engine — table, JSON payload, and rendered text.  This is
+   the acceptance bar that lets every scenario-shaped study take
+   ``--engine fast`` without a correctness caveat.
+2. **Lossless serialization.**  The table round-trips through JSON and
+   NPZ exactly (every float bit), so a study written to disk *is* the
+   study.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) restricts fig7 to MNIST; the full
+run covers all three tasks.
+"""
+
+import os
+
+from repro.study import Profile, ResultTable, run_study
+
+from benchmarks.conftest import run_once
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+TASKS = ("mnist",) if SMOKE else ("mnist", "har", "okg")
+
+
+def test_study_api_engine_identity_and_round_trip(benchmark, tmp_path):
+    profile = Profile(tasks=TASKS)
+
+    def run():
+        reference = run_study("fig7", engine="reference", workers=1,
+                              profile=profile)
+        fast = run_study("fig7", engine="fast", workers=1, profile=profile)
+        return reference, fast
+
+    reference, fast = run_once(benchmark, run)
+    print()
+    print(fast.render())
+
+    # 1. fast == reference, bit for bit, at every level of the payload
+    assert fast.table == reference.table
+    assert fast.table.to_json() == reference.table.to_json()
+    assert fast.render() == reference.render()
+    assert len(fast.table) == len(TASKS) * 2 * 5  # tasks x regimes x runtimes
+
+    # 2. lossless round trips
+    path = str(tmp_path / "fig7.npz")
+    fast.table.to_npz(path)
+    assert ResultTable.from_npz(path) == fast.table
+    assert ResultTable.from_json(fast.table.to_json()) == fast.table
+
+    # model sharing: one preparation per task across all 10 cells/task
+    assert fast.cache.misses == len(TASKS)
+    benchmark.extra_info["smoke"] = SMOKE
+    benchmark.extra_info["scenarios"] = len(fast.table)

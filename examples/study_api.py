@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The unified study API: run, serialize, reload, re-render.
+
+Every experiment in this repo — paper tables/figures, ablations, sweeps,
+the fleet study — is a registered *study*: a declarative spec executed by
+one function, ``run_study``.  Scenario-shaped studies (Figure 7 here)
+run through the fleet engine, so they take ``engine="fast"`` and worker
+counts for free and stay bit-identical across both.
+
+The result of any study is a ``ResultTable``: typed columns, filtering /
+group-by / percentile aggregation, and *lossless* JSON/NPZ round-trips —
+a study written to disk is the study, every float bit included.
+
+Run:  python examples/study_api.py
+"""
+
+import os
+import tempfile
+
+from repro.study import Profile, ResultTable, get_study, run_study, study_names
+
+
+def main() -> None:
+    print("Registered studies:", ", ".join(study_names()))
+    print()
+
+    # -- run Figure 7 through the fleet, on the fast engine ----------------
+    profile = Profile(tasks=("mnist",))
+    run = run_study("fig7", engine="fast", workers=1, profile=profile)
+    print(run.render())
+    print()
+
+    # The same spec on the reference engine is bit-identical — the fleet
+    # determinism contract, surfaced at the API level:
+    reference = run_study("fig7", engine="reference", workers=1,
+                          profile=profile)
+    assert run.table == reference.table
+    print("fast == reference, bit for bit:",
+          run.table.to_json() == reference.table.to_json())
+
+    # -- the table is data: slice it like data -----------------------------
+    table = run.table
+    intermittent = table.filter(lambda r: r["regime"] == "intermittent")
+    finished = intermittent.filter(lambda r: r["completed"])
+    print(f"intermittent finishers: {finished.column('runtime')}")
+    print(f"median intermittent energy: "
+          f"{intermittent.percentile('energy_mj', 50):.3f} mJ")
+    print()
+
+    # -- serialize, reload, re-render --------------------------------------
+    path = os.path.join(tempfile.mkdtemp(), "fig7.json")
+    with open(path, "w") as fh:
+        fh.write(table.to_json(indent=2))
+    reloaded = ResultTable.from_json(open(path).read())
+    assert reloaded == table  # lossless: schema, meta, and every bit
+    # Any table renders back into the paper-style artifact, no re-run:
+    print(get_study(reloaded.meta["study"]).render(reloaded).splitlines()[0])
+    print(f"(re-rendered from {path})")
+
+
+if __name__ == "__main__":
+    main()

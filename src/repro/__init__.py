@@ -16,14 +16,19 @@ substrates they need:
   (BASE/SONIC/TAILS) on the energy-harvesting supply of :mod:`repro.power`
   via the simulator in :mod:`repro.sim`.
 
-Two layers sit above the paper systems:
+Three layers sit above the paper systems:
 
-* :mod:`repro.experiments` — drivers regenerating each paper table and
-  figure (plus sweeps, ablations, and deployment planning), exposed on
-  the command line by :mod:`repro.cli` (``python -m repro``).
+* :mod:`repro.experiments` — the imperative drivers behind each paper
+  table and figure (plus sweeps, ablations, and deployment planning).
 * :mod:`repro.fleet` — the fleet-scale scenario engine: declarative
   scenario grids executed in parallel across worker processes, with
   shared model caching and distribution-level reporting.
+* :mod:`repro.study` — the unified study API: every experiment is a
+  registered, declarative :class:`~repro.study.core.Study` executed by
+  :func:`~repro.study.core.run_study` (scenario-shaped studies route
+  through the fleet engine) and returning a typed, losslessly
+  serializable :class:`~repro.study.table.ResultTable`.  The CLI
+  (:mod:`repro.cli`, ``python -m repro run <study>``) is its shell face.
 
 See ``README.md`` for the project tour and ``DESIGN.md`` for the full
 system inventory and experiment index.

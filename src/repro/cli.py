@@ -1,6 +1,16 @@
-"""Command-line interface: regenerate any paper artifact from the shell.
+"""Command-line interface: every study from the shell.
 
-Usage::
+The CLI is a thin face over the study registry
+(:mod:`repro.study`) — one executor, two core commands::
+
+    python -m repro list
+    python -m repro run <study> [--engine reference|fast] [--workers N]
+                                [--serial] [--json OUT] [--npz OUT]
+                                [--task ...] [--seed N] [--full]
+                                [--samples K] [--corpus [NAME ...]]
+
+plus the classic per-artifact subcommands, kept as thin aliases so
+existing invocations and benchmarks keep working::
 
     python -m repro table1
     python -m repro table2 [--fast]
@@ -13,119 +23,153 @@ Usage::
                           [--engine reference|fast] [--corpus [NAME ...]]
     python -m repro traces list
     python -m repro traces describe NAME [--seed N]
-    python -m repro traces export NAME --out FILE [--seed N]
+    python -m repro traces export NAME --out FILE.{csv,npz} [--seed N]
     python -m repro all [--fast]
+
+Configuration errors print one line to stderr and exit with status 1.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
+from repro import __version__
+from repro.errors import ConfigurationError
+
+#: The classic per-axis sweep subcommand, mapped onto the sweep studies.
+_SWEEP_STUDIES = {
+    "capacitor": "sweep-capacitor",
+    "power": "sweep-power",
+    "trace": "sweep-trace",
+}
+
+#: ``repro ablations`` renders these three studies (A1-A3), in order.
+_ABLATION_STUDIES = ("ablation-overflow", "ablation-buffers", "ablation-dma")
+
+
+def _profile_from_args(args) -> "Profile":
+    from repro.study import Profile
+
+    return Profile(
+        tasks=tuple(args.task) if getattr(args, "task", None) else None,
+        seed=getattr(args, "seed", 0),
+        full=getattr(args, "full", False),
+        samples=getattr(args, "samples", 4),
+        corpus=(tuple(args.corpus)
+                if getattr(args, "corpus", None) is not None else None),
+    )
+
+
+def _execute(name: str, args) -> "StudyRun":
+    from repro.study import run_study
+
+    return run_study(
+        name,
+        engine=getattr(args, "engine", "reference"),
+        workers=getattr(args, "workers", None),
+        parallel=not getattr(args, "serial", False),
+        profile=_profile_from_args(args),
+    )
+
+
+# -- core commands ------------------------------------------------------------
+
+
+def _cmd_list(args) -> None:
+    from repro.experiments.reporting import format_table
+    from repro.study import get_study, study_names
+
+    rows = []
+    for name in study_names():
+        study = get_study(name)
+        rows.append((
+            study.name,
+            "fleet" if study.fleet_executed else "direct",
+            study.artifact or "-",
+            study.title,
+        ))
+    print(format_table(
+        ["study", "execution", "artifact", "title"], rows,
+        title="Registered studies ('repro run <study>'; fleet-executed "
+              "studies take --engine/--workers)",
+    ))
+
+
+def _cmd_run(args) -> None:
+    # Open output files *before* running: a bad path must fail in
+    # milliseconds, not after minutes of simulation.
+    sinks = []  # (path, open handle, writer)
+    try:
+        if args.json:
+            sinks.append((args.json, open(args.json, "w"),
+                          lambda fh, t: fh.write(t.to_json(indent=2))))
+        if args.npz:
+            # np.savez accepts an open binary handle.
+            sinks.append((args.npz, open(args.npz, "wb"),
+                          lambda fh, t: t.to_npz(fh)))
+        run = _execute(args.study, args)
+    except BaseException:
+        for path, fh, _ in sinks:
+            fh.close()
+            os.unlink(path)  # don't leave empty artifacts behind
+        raise
+    print(run.render())
+    for path, fh, write in sinks:
+        with fh:
+            write(fh, run.table)
+        print(f"wrote {path}: {run.table!r}", file=sys.stderr)
+
+
+# -- classic aliases ----------------------------------------------------------
+
 
 def _cmd_table1(args) -> None:
-    from repro.experiments import render_table1
-
-    print(render_table1())
+    print(_execute("table1", args).render())
 
 
 def _cmd_table2(args) -> None:
-    from repro.experiments import FAST, FULL, render_table2, run_table2
-
-    profile = FAST if args.fast else FULL
-    print(render_table2(run_table2(profile)))
+    # The classic subcommand trains the FULL profile unless --fast;
+    # 'repro run table2' defaults to the FAST profile (use --full).
+    args.full = not args.fast
+    print(_execute("table2", args).render())
 
 
 def _cmd_fig7(args) -> None:
-    from repro.experiments import (
-        TASKS,
-        render_fig7a,
-        render_fig7b,
-        render_fig7c,
-        run_fig7,
-    )
-
-    tasks = [args.task] if args.task else list(TASKS)
-    results = {task: run_fig7(task) for task in tasks}
-    print(render_fig7a(results))
-    print()
-    print(render_fig7b(results))
-    print()
-    print(render_fig7c(results))
+    args.task = [args.task] if args.task else None
+    print(_execute("fig7", args).render())
 
 
 def _cmd_fig8(args) -> None:
-    from repro.experiments import render_fig8, run_fig8
-
-    print(render_fig8(run_fig8()))
+    print(_execute("fig8", args).render())
 
 
 def _cmd_overhead(args) -> None:
-    from repro.experiments import render_checkpoint_overhead, run_checkpoint_overhead
-
-    print(render_checkpoint_overhead(run_checkpoint_overhead()))
+    print(_execute("overhead", args).render())
 
 
 def _cmd_ablations(args) -> None:
-    from repro.experiments import (
-        render_buffer_ablation,
-        render_dma_ablation,
-        render_overflow_ablation,
-        run_buffer_ablation,
-        run_dma_ablation,
-        run_overflow_ablation,
-    )
-
-    print(render_overflow_ablation(run_overflow_ablation("mnist")))
-    print()
-    print(render_buffer_ablation(run_buffer_ablation()))
-    print()
-    print(render_dma_ablation(run_dma_ablation()))
+    parts = [_execute(name, args).render() for name in _ABLATION_STUDIES]
+    print("\n\n".join(parts))
 
 
 def _cmd_sweep(args) -> None:
-    from repro.experiments.sweeps import (
-        capacitor_sweep,
-        power_sweep,
-        render_sweep,
-        trace_sweep,
-    )
-
-    task = args.task or "mnist"
-    if args.axis == "capacitor":
-        print(render_sweep(capacitor_sweep(task), "capacitance", " uF"))
-    elif args.axis == "power":
-        print(render_sweep(power_sweep(task), "harvest power", " mW"))
-    else:
-        cells = trace_sweep(task)
-        for label, cell in cells.items():
-            print(f"{label:>12}: {cell.render()}")
+    args.task = [args.task] if args.task else None
+    print(_execute(_SWEEP_STUDIES[args.axis], args).render())
 
 
 def _cmd_fleet(args) -> None:
-    from repro.fleet import FleetRunner, corpus_traces, default_grid
-
-    traces = None
-    if args.corpus is not None:
-        # --corpus with no names sweeps the whole registered corpus.
-        traces = corpus_traces(args.corpus or None)
-    grid = default_grid(
-        tasks=tuple(args.task) if args.task else ("mnist",),
-        n_samples=args.samples,
-        base_seed=args.seed,
-        traces=traces,
-    )
-    runner = FleetRunner(args.workers, parallel=not args.serial,
-                         engine=args.engine)
-    report = runner.run(grid)
-    print(report.render(per_scenario=not args.no_scenarios))
+    run = _execute("fleet", args)
+    # The classic fleet output: the full report (with wall-clock and
+    # worker metadata) plus the model-cache summary.
+    print(run.report.render(per_scenario=not args.no_scenarios))
     print()
-    print(runner.cache.summary())
+    print(run.cache.summary())
 
 
 def _cmd_traces(args) -> None:
-    from repro.errors import ConfigurationError
     from repro.power import CORPUS
 
     # Reject ignored arguments (same stance as TraceSpec's per-kind
@@ -148,6 +192,11 @@ def _cmd_traces(args) -> None:
     # export
     if not args.out:
         raise ConfigurationError("traces export needs --out FILE (.csv or .npz)")
+    if not args.out.endswith((".csv", ".npz")):
+        raise ConfigurationError(
+            f"traces export --out must end in .csv or .npz, got {args.out!r} "
+            "(the extension selects the format)"
+        )
     trace = CORPUS.get(args.name, seed=args.seed)
     if args.out.endswith(".npz"):
         trace.to_npz(args.out)
@@ -175,9 +224,39 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce the tables and figures of 'Enabling Fast "
                     "Deep Learning on Tiny Energy-Harvesting IoT Devices' "
-                    "(DATE 2022).",
+                    "(DATE 2022) through the unified study API.",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered studies")
+
+    pr = sub.add_parser("run", help="run a registered study")
+    pr.add_argument("study", help="study name (see 'repro list')")
+    pr.add_argument("--engine", choices=("reference", "fast"),
+                    default="reference",
+                    help="simulation engine (fast = precompiled replay, "
+                         "bit-identical results)")
+    pr.add_argument("--workers", type=int, default=None,
+                    help="worker processes for fleet-executed studies "
+                         "(default: available CPUs)")
+    pr.add_argument("--serial", action="store_true",
+                    help="force serial execution")
+    pr.add_argument("--json", metavar="OUT",
+                    help="also write the ResultTable as lossless JSON")
+    pr.add_argument("--npz", metavar="OUT",
+                    help="also write the ResultTable as lossless NPZ")
+    pr.add_argument("--task", choices=("mnist", "har", "okg"), nargs="+",
+                    help="tasks to run (default: the study's own)")
+    pr.add_argument("--seed", type=int, default=0, help="study seed")
+    pr.add_argument("--full", action="store_true",
+                    help="full training profile (table2)")
+    pr.add_argument("--samples", type=int, default=4,
+                    help="samples per scenario session (fleet)")
+    pr.add_argument("--corpus", nargs="*", metavar="NAME", default=None,
+                    help="sweep corpus-backed supplies (fleet; no names = "
+                         "whole corpus)")
 
     sub.add_parser("table1", help="Table I: BCM storage reduction")
 
@@ -224,8 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="corpus entry (describe/export)")
     pt.add_argument("--seed", type=int, default=0,
                     help="rendering seed (default 0)")
-    pt.add_argument("--out", help="export path; .npz for binary, "
-                                  "anything else writes CSV")
+    pt.add_argument("--out", help="export path: .csv or .npz")
 
     pa = sub.add_parser("all", help="everything (slow)")
     pa.add_argument("--fast", action="store_true")
@@ -233,6 +311,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 _COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "fig7": _cmd_fig7,
@@ -248,7 +328,11 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    _COMMANDS[args.command](args)
+    try:
+        _COMMANDS[args.command](args)
+    except (ConfigurationError, OSError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -17,7 +17,7 @@ from repro.ace import AceRuntime
 from repro.hw.board import msp430fr5994
 from repro.nn import BCMDense, Dense, Sequential
 from repro.rad.quantize import quantize_model
-from repro.sim import IntermittentMachine
+from repro.sim import make_machine
 from repro.experiments.reporting import format_table
 
 #: MNIST first FC layer geometry (Table II).
@@ -36,8 +36,13 @@ class Fig8Point:
     weight_bytes: int
 
 
-def run_fig8(*, seed: int = 0) -> Dict[Optional[int], Fig8Point]:
-    """Measure the isolated FC1 layer under each block size."""
+def run_fig8(*, seed: int = 0,
+             engine: str = "reference") -> Dict[Optional[int], Fig8Point]:
+    """Measure the isolated FC1 layer under each block size.
+
+    ``engine`` selects the simulation engine (``"reference"``/``"fast"``,
+    bit-identical results — see :mod:`repro.sim.fastsim`).
+    """
     rng = np.random.default_rng(seed)
     calib = np.random.default_rng(seed + 1).uniform(-0.9, 0.9, (16, IN_FEATURES))
     x = calib[0]
@@ -51,7 +56,7 @@ def run_fig8(*, seed: int = 0) -> Dict[Optional[int], Fig8Point]:
         qmodel = quantize_model(model, (IN_FEATURES,), calib)
         runtime = AceRuntime(qmodel)
         device = msp430fr5994()
-        result = IntermittentMachine(device, runtime).run(x)
+        result = make_machine(device, runtime, engine=engine).run(x)
         points[block] = Fig8Point(
             block_size=block,
             latency_s=result.wall_time_s,

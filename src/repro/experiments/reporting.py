@@ -9,7 +9,12 @@ from repro.errors import ConfigurationError
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
                  title: str = "") -> str:
-    """Render an aligned ASCII table."""
+    """Render an aligned ASCII table.
+
+    Columns whose every cell is a number (``int``/``float``, not
+    ``bool``) are right-aligned, paper-style; everything else — including
+    pre-formatted numeric strings — stays left-aligned.
+    """
     if not headers:
         raise ConfigurationError("table needs headers")
     str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
@@ -18,19 +23,35 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
             raise ConfigurationError(
                 f"row width {len(row)} != header width {len(headers)}"
             )
+    numeric = [
+        bool(rows) and all(_is_number(row[i]) for row in rows)
+        for i in range(len(headers))
+    ]
     widths = [len(h) for h in headers]
     for row in str_rows:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
     sep = "-+-".join("-" * w for w in widths)
+
+    def align(cell: str, i: int) -> str:
+        return cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i])
+
     out = []
     if title:
         out.append(title)
-    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(" | ".join(align(h, i) for i, h in enumerate(headers)))
     out.append(sep)
     for row in str_rows:
-        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        out.append(" | ".join(align(c, i) for i, c in enumerate(row)))
     return "\n".join(out)
+
+
+def _is_number(value: object) -> bool:
+    import numpy as np
+
+    return isinstance(
+        value, (int, float, np.integer, np.floating)
+    ) and not isinstance(value, (bool, np.bool_))
 
 
 def _fmt(value: object) -> str:

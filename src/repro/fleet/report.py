@@ -6,14 +6,19 @@ the per-inference experiments cannot: across diverse power conditions,
 what throughput does each runtime sustain at the median and the tail, how
 much energy does an inference cost in distribution, how often do devices
 reboot, and what fraction of work is simply never finished (DNF)?
+
+The serializable payload of a report is a
+:class:`~repro.study.table.ResultTable`: :meth:`FleetReport.
+scenario_table` is the typed per-scenario table, :meth:`FleetReport.
+runtime_table` derives the per-runtime distribution summary *from that
+table* (so a table loaded back from JSON/NPZ aggregates identically to a
+live report), and :meth:`FleetReport.render` is built on both.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
-
-import numpy as np
 
 from repro.fleet.scenario import Scenario
 from repro.sim.session import SessionStats
@@ -72,9 +77,9 @@ class RuntimeAggregate:
         return 1.0 - self.completed / self.inferences
 
     def percentile(self, values: Sequence[float], q: float) -> float:
-        if not values:
-            return 0.0
-        return float(np.percentile(np.asarray(values, dtype=float), q))
+        from repro.study.table import percentile
+
+        return percentile(values, q)
 
     def row(self) -> Tuple:
         return (
@@ -135,29 +140,152 @@ class FleetReport:
     def total_completed(self) -> int:
         return sum(r.stats.completed for r in self.results)
 
+    #: Schema of :meth:`scenario_table` (the serializable fleet payload).
+    SCENARIO_COLUMNS = (
+        ("scenario", "str"),
+        ("task", "str"),
+        ("runtime", "str"),
+        ("trace", "str"),
+        ("cap_uf", "float"),
+        ("inferences", "int"),
+        ("completed", "int"),
+        ("throughput_hz", "float"),
+        ("energy_mj", "float"),
+        ("reboots", "int"),
+        ("accuracy", "float"),
+        ("overflow_events", "int"),
+    )
+
+    def scenario_table(self) -> "ResultTable":
+        """The per-scenario results as a typed, serializable table."""
+        from repro.study.table import ResultTable
+
+        table = ResultTable(
+            self.SCENARIO_COLUMNS,
+            meta={
+                "kind": "fleet-scenarios",
+                "workers": str(self.workers),
+                "unique_models": str(self.unique_models),
+            },
+        )
+        for r in self.results:
+            s = r.stats
+            table.append(
+                scenario=r.scenario.name,
+                task=r.scenario.task,
+                runtime=r.scenario.runtime,
+                trace=r.scenario.trace.label(),
+                cap_uf=r.scenario.cap_uf,
+                inferences=s.inferences,
+                completed=s.completed,
+                throughput_hz=s.throughput_hz,
+                energy_mj=s.total_energy_j * 1e3,
+                reboots=s.total_reboots,
+                accuracy=r.accuracy,
+                overflow_events=r.overflow_events,
+            )
+        return table
+
+    @staticmethod
+    def runtime_table(scenarios: "ResultTable") -> "ResultTable":
+        """Per-runtime distribution summary derived from a scenario table.
+
+        A *static* transformation of the payload — it works identically
+        on a live report's table and on one round-tripped through
+        JSON/NPZ, which is what makes fleet results portable.
+        """
+        from repro.study.table import ResultTable
+
+        out = ResultTable((
+            ("runtime", "str"),
+            ("scenarios", "int"),
+            ("dnf_rate", "float"),
+            ("throughput_hz_p50", "float"),
+            ("throughput_hz_p10", "float"),
+            ("mj_per_inf_p50", "float"),
+            ("mj_per_inf_p90", "float"),
+            ("reboots_per_inf_p50", "float"),
+        ))
+        for runtime, group in scenarios.group_by("runtime").items():
+            inferences = sum(group.column("inferences"))
+            completed = sum(group.column("completed"))
+            done = group.filter(lambda r: r["completed"] > 0)
+            per_inf_mj = [r["energy_mj"] / r["completed"] for r in done]
+            per_inf_rb = [r["reboots"] / r["completed"] for r in done]
+            out.append(
+                runtime=runtime,
+                scenarios=len(group),
+                dnf_rate=(1.0 - completed / inferences) if inferences else 0.0,
+                throughput_hz_p50=group.percentile("throughput_hz", 50),
+                throughput_hz_p10=group.percentile("throughput_hz", 10),
+                mj_per_inf_p50=_percentile(per_inf_mj, 50),
+                mj_per_inf_p90=_percentile(per_inf_mj, 90),
+                reboots_per_inf_p50=_percentile(per_inf_rb, 50),
+            )
+        return out
+
     def render(self, *, per_scenario: bool = True) -> str:
         """Text report: per-runtime distributions, then per-scenario rows."""
-        from repro.experiments.reporting import format_table
-
-        parts = [
-            format_table(
-                ["runtime", "cells", "DNF", "thr p50", "thr p10",
-                 "mJ/inf p50", "mJ/inf p90", "rb/inf p50"],
-                [agg.row() for agg in self.aggregate().values()],
-                title=(
-                    f"Fleet report: {len(self)} scenarios, "
-                    f"{self.total_completed}/{self.total_inferences} inferences, "
-                    f"{self.unique_models} unique models, "
-                    f"{self.workers} worker(s), {self.wall_s:.2f} s"
-                ),
-            )
-        ]
+        scenarios = self.scenario_table()
+        title = (
+            f"Fleet report: {len(self)} scenarios, "
+            f"{self.total_completed}/{self.total_inferences} inferences, "
+            f"{self.unique_models} unique models, "
+            f"{self.workers} worker(s), {self.wall_s:.2f} s"
+        )
+        parts = [render_runtime_table(self.runtime_table(scenarios), title=title)]
         if per_scenario:
-            parts.append(
-                format_table(
-                    ["scenario", "done", "inf/s", "mJ", "reboots"],
-                    [r.row() for r in self.results],
-                    title="Per-scenario results",
-                )
-            )
+            parts.append(render_scenario_table(scenarios))
         return "\n\n".join(parts)
+
+
+def _percentile(values: Sequence[float], q: float) -> float:
+    from repro.study.table import percentile
+
+    return percentile(values, q)
+
+
+def render_runtime_table(aggregates: "ResultTable",
+                         title: str = "Per-runtime distributions") -> str:
+    """Format a :meth:`FleetReport.runtime_table` result as text."""
+    from repro.experiments.reporting import format_table
+
+    return format_table(
+        ["runtime", "cells", "DNF", "thr p50", "thr p10",
+         "mJ/inf p50", "mJ/inf p90", "rb/inf p50"],
+        [
+            (
+                r["runtime"],
+                f"{r['scenarios']}",
+                f"{100 * r['dnf_rate']:.1f}%",
+                f"{r['throughput_hz_p50']:.2f}",
+                f"{r['throughput_hz_p10']:.2f}",
+                f"{r['mj_per_inf_p50']:.2f}",
+                f"{r['mj_per_inf_p90']:.2f}",
+                f"{r['reboots_per_inf_p50']:.1f}",
+            )
+            for r in aggregates
+        ],
+        title=title,
+    )
+
+
+def render_scenario_table(scenarios: "ResultTable",
+                          title: str = "Per-scenario results") -> str:
+    """Format a :meth:`FleetReport.scenario_table` result as text."""
+    from repro.experiments.reporting import format_table
+
+    return format_table(
+        ["scenario", "done", "inf/s", "mJ", "reboots"],
+        [
+            (
+                r["scenario"],
+                f"{r['completed']}/{r['inferences']}",
+                f"{r['throughput_hz']:.2f}",
+                f"{r['energy_mj']:.2f}",
+                f"{r['reboots']}",
+            )
+            for r in scenarios
+        ],
+        title=title,
+    )

@@ -49,11 +49,11 @@ def execute_scenario(
     from repro.power import VoltageMonitor
     from repro.sim.session import SensingSession
 
-    harvester = scenario.build_harvester()
+    harvester = scenario.build_harvester()  # None for mains scenarios
     device = msp430fr5994(supply=harvester)
     runtime = make_runtime(scenario.runtime, qmodel)
     monitor = None
-    if runtime.snapshot_on_warning:
+    if runtime.snapshot_on_warning and harvester is not None:
         if scenario.v_warn is None:
             monitor = VoltageMonitor(harvester)
         else:

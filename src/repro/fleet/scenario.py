@@ -34,15 +34,17 @@ from repro.power import (
 )
 
 #: Trace kinds understood by :class:`TraceSpec`.
-TRACE_KINDS = ("constant", "square", "rf", "solar", "corpus")
+TRACE_KINDS = ("constant", "square", "rf", "solar", "corpus", "mains")
 
-#: Which fields each kind interprets (``kind``/``power_w`` always count).
+#: Which fields each kind interprets (``kind``/``power_w`` always count,
+#: except for ``"mains"``, which interprets nothing — tethered power).
 _USED_FIELDS = {
     "constant": frozenset(),
     "square": frozenset({"period_s", "duty"}),
     "rf": frozenset({"period_s", "duty", "seed"}),
     "solar": frozenset({"period_s"}),
     "corpus": frozenset({"seed", "corpus"}),
+    "mains": frozenset(),
 }
 
 
@@ -65,11 +67,18 @@ class TraceSpec:
       ``corpus``, rendered under ``seed`` in whichever process runs the
       scenario; ``power_w > 0`` rescales the rendering to that mean
       power (``power_w = 0`` keeps the entry's native scale).
+    * ``"mains"``    — tethered, continuous power: the scenario's device
+      gets *no* harvester at all (``build_harvester()`` returns
+      ``None``), so execution never browns out.  This is how
+      continuous-power experiments (Figure 7(a)/(c)) are expressed as
+      fleet scenarios.  ``power_w`` and the capacitor are meaningless
+      and must stay at their defaults.
 
     ``power_w`` left unset resolves per kind: 5 mW for the analytic
     profiles (the testbed's level), *native scale* (0) for corpus
     entries — a terse corpus spec must not silently renormalize every
-    entry to one level and flatten the supply-level axis.
+    entry to one level and flatten the supply-level axis — and 0 for
+    ``mains`` (unlimited by definition; a non-zero value is rejected).
 
     A field the selected kind does *not* interpret must be left at its
     default: a non-default value is rejected at construction.  Silently
@@ -93,7 +102,13 @@ class TraceSpec:
             )
         if self.power_w is None:  # per-kind default, see class docstring
             object.__setattr__(
-                self, "power_w", 0.0 if self.kind == "corpus" else 5e-3)
+                self, "power_w",
+                0.0 if self.kind in ("corpus", "mains") else 5e-3)
+        if self.kind == "mains" and self.power_w != 0.0:
+            raise ConfigurationError(
+                "mains supplies are unlimited by definition; power_w "
+                f"{self.power_w!r} would be silently ignored"
+            )
         if self.power_w < 0 or self.period_s <= 0 or not 0.0 < self.duty <= 1.0:
             raise ConfigurationError(
                 f"invalid trace spec (power={self.power_w}, "
@@ -124,6 +139,11 @@ class TraceSpec:
 
     def build(self) -> PowerTrace:
         """Instantiate the concrete :class:`PowerTrace`."""
+        if self.kind == "mains":
+            raise ConfigurationError(
+                "mains supplies have no power trace: the device runs "
+                "tethered (Scenario.build_harvester() returns None)"
+            )
         if self.kind == "constant":
             return ConstantTrace(self.power_w)
         if self.kind == "square":
@@ -150,6 +170,8 @@ class TraceSpec:
         i.i.d. RF supplies with different seeds — get unique scenario
         names, which the runner requires.
         """
+        if self.kind == "mains":
+            return "mains"
         if self.kind == "corpus":
             parts = [f"corpus:{self.corpus}"]
             if self.power_w > 0.0:
@@ -207,6 +229,15 @@ class Scenario:
             raise ConfigurationError("n_samples must be >= 1")
         if self.cap_uf <= 0:
             raise ConfigurationError("cap_uf must be positive")
+        if self.trace.kind == "mains" and self.cap_uf != 100.0:
+            # Tethered devices have no capacitor in the loop; accepting a
+            # swept cap_uf here would let a capacitor axis crossed with a
+            # mains regime collapse into identical cells under distinct
+            # names (the TraceSpec ignored-field stance, one level up).
+            raise ConfigurationError(
+                f"mains scenarios have no capacitor; cap_uf {self.cap_uf!r} "
+                "would be silently ignored (leave it at the default)"
+            )
 
     @property
     def model_key(self) -> Tuple:
@@ -214,9 +245,19 @@ class Scenario:
         return (self.task, self.compressed, self.pruned, self.model_seed,
                 self.calib_n)
 
-    def build_harvester(self) -> EnergyHarvester:
-        """The scenario's supply: its trace into its capacitor."""
-        return EnergyHarvester(self.trace.build(), Capacitor(self.cap_uf * 1e-6))
+    def build_harvester(self) -> Optional[EnergyHarvester]:
+        """The scenario's supply: its trace into its capacitor.
+
+        ``None`` for ``mains`` scenarios — the device runs tethered, on
+        continuous power, with no capacitor in the loop.
+        """
+        if self.trace.kind == "mains":
+            return None
+        # Divide rather than multiply by 1e-6: x / 1e6 is the correctly
+        # rounded quotient, which equals the decimal literal (100 / 1e6
+        # == 100e-6 bit-for-bit), so scenario supplies match experiment
+        # code writing capacitances as literals, down to the last ulp.
+        return EnergyHarvester(self.trace.build(), Capacitor(self.cap_uf / 1e6))
 
     def with_runtime(self, runtime: str) -> "Scenario":
         """Copy of this scenario on a different runtime (name updated)."""

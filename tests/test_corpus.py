@@ -566,17 +566,18 @@ class TestTracesCli:
         assert main(["traces", "describe", "kinetic-walk"]) == 0
         assert "walking" in capsys.readouterr().out
 
-    def test_describe_needs_name(self):
-        with pytest.raises(ConfigurationError):
-            main(["traces", "describe"])
+    def test_describe_needs_name(self, capsys):
+        assert main(["traces", "describe"]) == 1
+        assert "repro: error:" in capsys.readouterr().err
 
-    def test_ignored_arguments_rejected(self):
-        with pytest.raises(ConfigurationError):
-            main(["traces", "list", "rf-markov"])
-        with pytest.raises(ConfigurationError):
-            main(["traces", "list", "--out", "x.csv"])
-        with pytest.raises(ConfigurationError):
-            main(["traces", "describe", "rf-markov", "--out", "x.csv"])
+    def test_ignored_arguments_rejected(self, capsys):
+        for argv in (
+            ["traces", "list", "rf-markov"],
+            ["traces", "list", "--out", "x.csv"],
+            ["traces", "describe", "rf-markov", "--out", "x.csv"],
+        ):
+            assert main(argv) == 1
+            assert "repro: error:" in capsys.readouterr().err
 
     def test_export_round_trip(self, tmp_path, capsys):
         csv_path = str(tmp_path / "t.csv")
@@ -588,6 +589,13 @@ class TestTracesCli:
                      EmpiricalTrace.from_npz(npz_path)):
             assert back.energy(0.0, 60.0) == orig.energy(0.0, 60.0)
 
-    def test_export_needs_out(self):
-        with pytest.raises(ConfigurationError):
-            main(["traces", "export", "rf-markov"])
+    def test_export_needs_out(self, capsys):
+        assert main(["traces", "export", "rf-markov"]) == 1
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_export_rejects_unknown_extension(self, capsys):
+        """The --out extension selects the format; anything but .csv/.npz
+        used to silently write CSV to a misleading path."""
+        assert main(["traces", "export", "rf-markov", "--out", "x.json"]) == 1
+        err = capsys.readouterr().err
+        assert ".csv or .npz" in err

@@ -422,9 +422,11 @@ class TestCli:
         assert "corpus:rf-markov" in out
         assert "corpus:mixed-day" in out
 
-    def test_fleet_corpus_rejects_unknown_entry(self):
-        with pytest.raises(ConfigurationError):
-            main(["fleet", "--serial", "--corpus", "no-such-entry"])
+    def test_fleet_corpus_rejects_unknown_entry(self, capsys):
+        """Configuration errors exit 1 with a one-line stderr message."""
+        assert main(["fleet", "--serial", "--corpus", "no-such-entry"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and "no-such-entry" in err
 
     def test_fleet_smoke(self, capsys):
         assert main(["fleet", "--serial", "--samples", "1",
