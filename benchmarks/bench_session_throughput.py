@@ -13,6 +13,7 @@ from repro.hw.board import msp430fr5994
 from repro.power import VoltageMonitor
 from repro.sim.session import SensingSession
 
+from benchmarks._record import record_bench
 from benchmarks.conftest import run_once
 
 
@@ -44,3 +45,14 @@ def test_session_throughput(benchmark):
     assert flex.throughput_hz > stats["TAILS"].throughput_hz
     for name, s in stats.items():
         benchmark.extra_info[f"{name}_throughput_hz"] = round(s.throughput_hz, 3)
+    record_bench(
+        "session",
+        {
+            name: {
+                "sim_wall_s": s.total_wall_time_s,
+                "throughput_hz": s.throughput_hz,
+                "completed": s.completed,
+            }
+            for name, s in stats.items()
+        },
+    )

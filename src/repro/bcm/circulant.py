@@ -14,6 +14,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.kernels.spectra import weight_spectra
 
 
 def circulant(first_column: np.ndarray) -> np.ndarray:
@@ -108,7 +109,9 @@ def bcm_matvec(weights: np.ndarray, x: np.ndarray) -> np.ndarray:
             f"input length {x.shape[-1]} != q*k = {q * k}"
         )
     xb = x.reshape(x.shape[:-1] + (q, k))
-    fy = np.einsum("pqk,...qk->...pk", np.fft.fft(w, axis=-1), np.fft.fft(xb, axis=-1))
+    # weight_spectra memoizes FFT(w) on array contents — repeated matvecs
+    # against the same weights skip the weight transform entirely.
+    fy = np.einsum("pqk,...qk->...pk", weight_spectra(w), np.fft.fft(xb, axis=-1))
     return np.fft.ifft(fy, axis=-1).real.reshape(x.shape[:-1] + (p * k,))
 
 

@@ -19,11 +19,13 @@ from repro.fixedpoint.fft import (
     bit_reversal_permutation,
     fft_reference,
     q15_fft,
+    q15_fft_reference,
     q15_ifft,
+    q15_ifft_reference,
     twiddle_q15,
 )
 from repro.fixedpoint.overflow import GLOBAL_MONITOR, OverflowMonitor
-from repro.fixedpoint.rfft import q15_rfft, rfft_reference
+from repro.fixedpoint.rfft import q15_rfft, q15_rfft_reference, rfft_reference
 from repro.fixedpoint.q15 import (
     INT16_MAX,
     INT16_MIN,
@@ -62,12 +64,15 @@ __all__ = [
     "float_to_q15",
     "q15_add",
     "q15_fft",
+    "q15_fft_reference",
     "q15_ifft",
+    "q15_ifft_reference",
     "q15_mac",
     "q15_mac_columns",
     "q15_mul",
     "q15_neg",
     "q15_rfft",
+    "q15_rfft_reference",
     "q15_shift",
     "q15_sub",
     "q15_to_float",

@@ -129,6 +129,20 @@ def _fft_core(
     return saturate16(xre), saturate16(xim), scale_log2
 
 
+def _get_plan(n: int):
+    """Late-bound :func:`repro.kernels.fftplan.get_fft_plan` (the kernels
+    package imports this module for its tables, so binding is deferred)."""
+    global _plan_getter
+    if _plan_getter is None:
+        from repro.kernels.fftplan import get_fft_plan
+
+        _plan_getter = get_fft_plan
+    return _plan_getter(n)
+
+
+_plan_getter = None
+
+
 def q15_fft(
     re,
     im,
@@ -139,8 +153,15 @@ def q15_fft(
     """Forward fixed-point FFT over the last axis.
 
     Returns ``(re, im, scale_log2)`` with ``FFT(x) = out * 2**scale_log2``.
+    Executes through the cached :class:`~repro.kernels.fftplan.FFTPlan`
+    for the length — bit-identical to :func:`q15_fft_reference`, which is
+    kept as the differential-testing oracle.
     """
-    return _fft_core(np.asarray(re), np.asarray(im), scaling, monitor)
+    re = np.asarray(re)
+    _check_length(re.shape[-1])
+    if scaling not in _VALID_SCALING:
+        raise ConfigurationError(f"scaling must be one of {_VALID_SCALING}")
+    return _get_plan(re.shape[-1]).fft(re, im, scaling=scaling, monitor=monitor)
 
 
 def q15_ifft(
@@ -154,8 +175,36 @@ def q15_ifft(
 
     ``IFFT(z) = conj(FFT(conj(z))) / N``; with per-stage scaling the 1/N is
     supplied by the shifts, so the returned data *is* the inverse transform
-    (``scale_log2 = 0``).
+    (``scale_log2 = 0``).  Planned, bit-identical to
+    :func:`q15_ifft_reference`.
     """
+    re = np.asarray(re)
+    _check_length(re.shape[-1])
+    if scaling not in _VALID_SCALING:
+        raise ConfigurationError(f"scaling must be one of {_VALID_SCALING}")
+    return _get_plan(re.shape[-1]).ifft(re, im, scaling=scaling, monitor=monitor)
+
+
+def q15_fft_reference(
+    re,
+    im,
+    *,
+    scaling: str = "stage",
+    monitor: Optional[OverflowMonitor] = None,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """The legacy per-stage-loop FFT, kept as the bit-identity oracle for
+    the planned :func:`q15_fft` (see ``tests/test_kernels.py``)."""
+    return _fft_core(np.asarray(re), np.asarray(im), scaling, monitor)
+
+
+def q15_ifft_reference(
+    re,
+    im,
+    *,
+    scaling: str = "stage",
+    monitor: Optional[OverflowMonitor] = None,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """The legacy inverse FFT, oracle for the planned :func:`q15_ifft`."""
     n = np.asarray(re).shape[-1]
     log2n = _check_length(n)
     out_re, out_im, fwd_scale = _fft_core(

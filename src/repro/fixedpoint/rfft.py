@@ -27,19 +27,48 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.fixedpoint.fft import q15_fft
 from repro.fixedpoint.overflow import OverflowMonitor
 from repro.fixedpoint.q15 import INT16_MAX, INT16_MIN, Q15_ONE, saturate16
 
 
 @lru_cache(maxsize=32)
 def _untangle_twiddles(n: int) -> Tuple[np.ndarray, np.ndarray]:
-    """Q15 factors ``exp(-2*pi*j*k/n)`` for ``k in [0, n/2]``."""
+    """Q15 factors ``exp(-2*pi*j*k/n)`` for ``k in [0, n/2]``.
+
+    Shared by the reference path below and by
+    :class:`repro.kernels.rfftplan.RFFTPlan` — one table, so the
+    plan/oracle pair cannot drift.
+    """
     k = np.arange(n // 2 + 1, dtype=np.float64)
     angle = -2.0 * np.pi * k / n
     re = np.clip(np.rint(np.cos(angle) * Q15_ONE), INT16_MIN, INT16_MAX)
     im = np.clip(np.rint(np.sin(angle) * Q15_ONE), INT16_MIN, INT16_MAX)
     return re.astype(np.int16), im.astype(np.int16)
+
+
+@lru_cache(maxsize=32)
+def _mirror_indices(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Index pair ``(a_idx, b_idx)`` of the untangling pass for length ``n``:
+    ``Z[a_idx]`` walks ``Z[k]`` for ``k in [0, n/2]`` (``Z[n/2]`` meaning
+    ``Z[0]``) and ``Z[b_idx]`` its conjugate mirror ``Z[n/2 - k]``.
+    Shared with :class:`repro.kernels.rfftplan.RFFTPlan`."""
+    half = n // 2
+    a_idx = np.concatenate([np.arange(half), [0]])
+    b_idx = (-np.arange(half + 1)) % half
+    return a_idx, b_idx
+
+
+def _get_plan(n: int):
+    """Late-bound :func:`repro.kernels.rfftplan.get_rfft_plan`."""
+    global _plan_getter
+    if _plan_getter is None:
+        from repro.kernels.rfftplan import get_rfft_plan
+
+        _plan_getter = get_rfft_plan
+    return _plan_getter(n)
+
+
+_plan_getter = None
 
 
 def q15_rfft(
@@ -52,8 +81,28 @@ def q15_rfft(
     Returns the first ``N/2 + 1`` spectrum bins as ``(re, im, scale_log2)``
     (the rest are the conjugate mirror).  Input length must be a power of
     two >= 4.  Uses the per-stage-scaled complex FFT internally, so the
-    result cannot overflow for any int16 input.
+    result cannot overflow for any int16 input.  Executes through the
+    cached :class:`~repro.kernels.rfftplan.RFFTPlan` — bit-identical to
+    :func:`q15_rfft_reference`.
     """
+    x = np.asarray(x)
+    n = x.shape[-1]
+    if n < 4 or n & (n - 1):
+        raise ConfigurationError(
+            f"rfft length must be a power of two >= 4, got {n}"
+        )
+    return _get_plan(n).rfft(x, monitor=monitor)
+
+
+def q15_rfft_reference(
+    x,
+    *,
+    monitor: Optional[OverflowMonitor] = None,
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """The legacy packing + untangling pass over the legacy complex FFT,
+    kept as the bit-identity oracle for the planned :func:`q15_rfft`."""
+    from repro.fixedpoint.fft import q15_fft_reference
+
     x = np.asarray(x)
     n = x.shape[-1]
     if n < 4 or n & (n - 1):
@@ -64,14 +113,14 @@ def q15_rfft(
     # Pack even samples as real, odd samples as imaginary.
     ze = x[..., 0::2].astype(np.int16)
     zo = x[..., 1::2].astype(np.int16)
-    z_re, z_im, z_scale = q15_fft(ze, zo, scaling="stage", monitor=monitor)
+    z_re, z_im, z_scale = q15_fft_reference(ze, zo, scaling="stage", monitor=monitor)
 
     # Mirror index: conj(Z[half - k]), with Z[half] meaning Z[0].
-    idx = (-np.arange(half + 1)) % half
-    a_re = z_re[..., np.concatenate([np.arange(half), [0]])].astype(np.int64)
-    a_im = z_im[..., np.concatenate([np.arange(half), [0]])].astype(np.int64)
-    b_re = z_re[..., idx].astype(np.int64)
-    b_im = -z_im[..., idx].astype(np.int64)
+    a_idx, b_idx = _mirror_indices(n)
+    a_re = z_re[..., a_idx].astype(np.int64)
+    a_im = z_im[..., a_idx].astype(np.int64)
+    b_re = z_re[..., b_idx].astype(np.int64)
+    b_im = -z_im[..., b_idx].astype(np.int64)
 
     # Even/odd spectra (each halved to keep headroom; rounded shifts).
     fe_re = (a_re + b_re + 1) >> 1

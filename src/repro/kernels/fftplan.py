@@ -1,0 +1,257 @@
+"""Per-length FFT plans for the fixed-point radix-2 kernels.
+
+A plan owns everything about one FFT length that the legacy
+``repro.fixedpoint.fft._fft_core`` used to rebuild or re-slice per call:
+the bit-reversal permutation, per-stage twiddle tables (sign-folded and
+replicated to the workspace batch so every butterfly multiply runs over
+contiguous memory), and preallocated int32 workspaces.  The stage loop
+then executes the *same arithmetic in the same order* as the reference —
+round-half, twiddle multiply with the +2**14 rounding term, add/sub,
+overflow accounting, clip — entirely through ``out=`` ufuncs.
+
+Bit-identity argument
+---------------------
+The reference and the plan differ only in memory layout (the plan keeps
+data batch-last, as ``(component, n, B)``) and in where temporaries live.
+Integer ufuncs are deterministic and elementwise, additions over the
+``q``-style axes are exact in int32/int64, and the overflow monitor only
+observes value *counts*, which are permutation-invariant.  The
+differential suite in ``tests/test_kernels.py`` pins this equivalence on
+randomized inputs, including saturating ones.
+
+Internal layout
+---------------
+``Workspace.X`` holds the signal as ``(2, n, B)``: component first
+(real/imag), FFT bins second, flattened batch last.  Butterfly partners
+are then contiguous runs of ``half * B`` elements, which is what makes
+the per-stage ufuncs fast for small ``half``.  ``repro.kernels.bcmplan``
+builds its fused BCM chain directly in this layout to skip the transpose
+in and out between FFT, spectral multiply, and IFFT.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint.fft import bit_reversal_permutation, twiddle_q15
+from repro.fixedpoint.overflow import OverflowMonitor
+from repro.fixedpoint.q15 import INT16_MAX, INT16_MIN
+
+try:  # pragma: no cover - version-dependent import path
+    from numpy._core.umath import clip as _clip  # numpy >= 2
+except ImportError:  # pragma: no cover
+    try:
+        from numpy.core.umath import clip as _clip  # numpy < 2
+    except ImportError:  # pragma: no cover
+
+        def _clip(a, lo, hi, out):
+            return np.clip(a, lo, hi, out=out)
+
+
+_VALID_SCALING = ("stage", "none")
+
+#: Workspaces kept per plan before the per-batch cache is reset.
+_MAX_WORKSPACES = 8
+
+
+def record_out_of_range(
+    monitor: OverflowMonitor, site: str, values: np.ndarray, scratch: np.ndarray
+) -> None:
+    """``monitor.check_saturation`` against the int16 range, allocation-free.
+
+    Two cheap reduction passes prescreen the common no-saturation case;
+    otherwise ``(v + 32768) >> 16`` is nonzero exactly for ``v`` outside
+    ``[-32768, 32767]`` (for the ``|v| < 2**30`` intermediates the kernels
+    produce), so one add, one shift, and one count reproduce the counts
+    the reference accumulated through boolean temporaries.
+    """
+    if values.size and values.min() >= INT16_MIN and values.max() <= INT16_MAX:
+        monitor.record(site, 0, values.size)
+        return
+    np.add(values, 32768, out=scratch)
+    scratch >>= 16
+    monitor.record(site, int(np.count_nonzero(scratch)), values.size)
+
+
+class Workspace:
+    """Preallocated buffers for one ``(plan, flattened-batch)`` pair."""
+
+    __slots__ = ("B", "X", "T", "P", "S", "stages")
+
+    def __init__(self, plan: "FFTPlan", B: int) -> None:
+        n = plan.n
+        self.B = B
+        self.X = np.empty((2, n, B), np.int32)
+        self.T = np.empty((2, (n // 2) * B), np.int32)
+        self.P = np.empty((2, 2, (n // 2) * B), np.int32)
+        # Count scratch for the overflow monitor; P is dead by the time
+        # the per-stage saturation count runs, so its storage is reused.
+        self.S = self.P.reshape(2, n, B)
+        self.stages = []
+        for s in range(plan.log2n):
+            half = 1 << s
+            g = n // (half << 1)
+            hB = half * B
+            xv = self.X.reshape(2, g, 2, hB)
+            # Twiddles replicated across batch and groups: W[c, t] with
+            # the signs folded in, so T[t] = sum_c bot[c] * W[c, t]; the
+            # full expansion keeps the butterfly multiply contiguous on
+            # both operands.
+            w = np.repeat(plan.base_w[s], B, axis=-1)[:, :, None, :]
+            self.stages.append(
+                (
+                    xv[:, :, 0],  # tops (read/accumulate)
+                    xv[:, :, 1],  # bottoms (read, then overwritten)
+                    self.T.reshape(2, g, hB),
+                    self.P.reshape(2, 2, g, hB),
+                    np.ascontiguousarray(np.broadcast_to(w, (2, 2, g, hB))),
+                )
+            )
+
+
+class FFTPlan:
+    """Plan for length-``n`` fixed-point FFT/IFFT over the last axis."""
+
+    __slots__ = ("n", "log2n", "perm", "base_w", "_workspaces")
+
+    def __init__(self, n: int) -> None:
+        if n < 2 or (n & (n - 1)) != 0:
+            raise ConfigurationError(
+                f"FFT length must be a power of two >= 2, got {n}"
+            )
+        self.n = n
+        self.log2n = n.bit_length() - 1
+        self.perm = bit_reversal_permutation(n)
+        wre_full, wim_full = twiddle_q15(n)
+        self.base_w: List[np.ndarray] = []
+        for stage in range(self.log2n):
+            stride = n // (2 << stage)
+            wre = wre_full[::stride].astype(np.int32)
+            wim = wim_full[::stride].astype(np.int32)
+            # (c, t, half): c indexes the input component (re, im), t the
+            # output component; t_re = wre*re - wim*im, t_im = wim*re + wre*im.
+            self.base_w.append(
+                np.array([[wre, wim], [-wim, wre]], dtype=np.int32)
+            )
+        self._workspaces: Dict[int, Workspace] = {}
+
+    # -- workspace management -----------------------------------------------
+
+    def workspace(self, B: int) -> Workspace:
+        """The preallocated workspace for a flattened batch of ``B`` rows."""
+        ws = self._workspaces.get(B)
+        if ws is None:
+            if len(self._workspaces) >= _MAX_WORKSPACES:
+                self._workspaces.clear()
+            ws = Workspace(self, B)
+            self._workspaces[B] = ws
+        return ws
+
+    def load(self, ws: Workspace, re2d, im2d, *, negate_im: bool = False) -> None:
+        """Bit-reverse-permute ``(B, n)`` inputs into ``ws.X``.
+
+        ``im2d=None`` zero-fills the imaginary lane (real input).  With
+        ``negate_im`` the imaginary lane is conjugated exactly as the
+        reference IFFT does: negate at int32 width, then saturate (so
+        ``-(-32768)`` lands on 32767).
+        """
+        X = ws.X
+        X[0][...] = re2d.T[self.perm]
+        if im2d is None:
+            X[1].fill(0)
+        else:
+            X[1][...] = im2d.T[self.perm]
+            if negate_im:
+                np.negative(X[1], out=X[1])
+                _clip(X[1], INT16_MIN, INT16_MAX, X[1])
+
+    def run(self, ws: Workspace, scaling: str, monitor: Optional[OverflowMonitor]) -> int:
+        """Execute the stage loop on ``ws.X``; returns ``scale_log2``."""
+        if scaling not in _VALID_SCALING:
+            raise ConfigurationError(f"scaling must be one of {_VALID_SCALING}")
+        X = ws.X
+        S = ws.S
+        stage_scaled = scaling == "stage"
+        for s in range(self.log2n):
+            top, bot, Tv, Pv, W = ws.stages[s]
+            if stage_scaled:
+                # The reference's _rounded_half: (x + 1) >> 1.
+                X += 1
+                X >>= 1
+            # t = (w * bottom + 2**14) >> 15, via the sign-folded table.
+            np.multiply(bot[:, None], W, out=Pv)
+            np.add(Pv[0], Pv[1], out=Tv)
+            Tv += 16384
+            Tv >>= 15
+            # new_bot = top - t first (it only reads top), then top += t.
+            np.subtract(top, Tv, out=bot)
+            top += Tv
+            if monitor is not None:
+                # One combined count over both components; the reference
+                # recorded re and im separately at the same site, which
+                # accumulates to the identical monitor end state.
+                record_out_of_range(monitor, "fft_stage", X, S)
+            _clip(X, INT16_MIN, INT16_MAX, X)
+        return self.log2n if stage_scaled else 0
+
+    # -- public kernels ------------------------------------------------------
+
+    def fft(self, re, im, *, scaling: str = "stage",
+            monitor: Optional[OverflowMonitor] = None):
+        """Planned ``q15_fft``: returns ``(re, im, scale_log2)`` in int16."""
+        re = np.asarray(re)
+        batch = re.shape[:-1]
+        n = self.n
+        B = 1
+        for d in batch:
+            B *= d
+        ws = self.workspace(B)
+        self.load(ws, re.reshape(B, n), np.asarray(im).reshape(B, n))
+        self.run(ws, scaling, monitor)
+        out_re = np.empty(batch + (n,), np.int16)
+        out_im = np.empty(batch + (n,), np.int16)
+        # Stage-final clips bound X to the int16 range, so the cast is the
+        # reference's saturate16.
+        out_re.reshape(B, n)[...] = ws.X[0].T
+        out_im.reshape(B, n)[...] = ws.X[1].T
+        return out_re, out_im, (self.log2n if scaling == "stage" else 0)
+
+    def ifft(self, re, im, *, scaling: str = "stage",
+             monitor: Optional[OverflowMonitor] = None):
+        """Planned ``q15_ifft`` via the conjugation identity."""
+        re = np.asarray(re)
+        batch = re.shape[:-1]
+        n = self.n
+        B = 1
+        for d in batch:
+            B *= d
+        ws = self.workspace(B)
+        self.load(ws, re.reshape(B, n), np.asarray(im).reshape(B, n),
+                  negate_im=True)
+        fwd = self.run(ws, scaling, monitor)
+        np.negative(ws.X[1], out=ws.X[1])
+        _clip(ws.X[1], INT16_MIN, INT16_MAX, ws.X[1])
+        out_re = np.empty(batch + (n,), np.int16)
+        out_im = np.empty(batch + (n,), np.int16)
+        out_re.reshape(B, n)[...] = ws.X[0].T
+        out_im.reshape(B, n)[...] = ws.X[1].T
+        return out_re, out_im, fwd - self.log2n
+
+
+#: Process-local plan cache; workers rebuild plans lazily after a fork or
+#: pickle round trip (construction is microseconds per length).
+_PLANS: Dict[int, FFTPlan] = {}
+
+
+def get_fft_plan(n: int) -> FFTPlan:
+    """The shared :class:`FFTPlan` for length ``n`` (built on first use)."""
+    plan = _PLANS.get(n)
+    if plan is None:
+        if len(_PLANS) >= 64:
+            _PLANS.clear()
+        plan = FFTPlan(int(n))
+        _PLANS[n] = plan
+    return plan

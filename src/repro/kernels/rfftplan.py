@@ -1,0 +1,89 @@
+"""Plan for the real-input FFT (packing + untangling pass).
+
+The legacy ``repro.fixedpoint.rfft.q15_rfft`` rebuilt its mirror-index
+arrays on every call and re-fetched untangle twiddles through an
+``lru_cache``.  The plan precomputes both once per length and routes the
+inner N/2-point complex FFT through the shared :class:`FFTPlan`, keeping
+the untangling arithmetic expression-for-expression identical to the
+reference (same int64 widths, same rounded shifts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint.overflow import OverflowMonitor
+from repro.fixedpoint.q15 import INT16_MAX, INT16_MIN, saturate16
+from repro.fixedpoint.rfft import _mirror_indices, _untangle_twiddles
+from repro.kernels.fftplan import get_fft_plan
+
+
+class RFFTPlan:
+    """Plan for length-``n`` real-input FFT over the last axis."""
+
+    __slots__ = ("n", "half", "fftplan", "a_idx", "b_idx", "wre", "wim")
+
+    def __init__(self, n: int) -> None:
+        if n < 4 or n & (n - 1):
+            raise ConfigurationError(
+                f"rfft length must be a power of two >= 4, got {n}"
+            )
+        self.n = n
+        half = n // 2
+        self.half = half
+        self.fftplan = get_fft_plan(half)
+        # The reference's tables, widened once: sharing the constructors
+        # keeps the plan/oracle pair from ever drifting.
+        self.a_idx, self.b_idx = _mirror_indices(n)
+        wre, wim = _untangle_twiddles(n)
+        self.wre = wre.astype(np.int64)
+        self.wim = wim.astype(np.int64)
+
+    def rfft(self, x, *, monitor: Optional[OverflowMonitor] = None):
+        """Planned ``q15_rfft``: first ``n/2 + 1`` bins as ``(re, im, scale)``."""
+        x = np.asarray(x)
+        # Pack even samples as real, odd samples as imaginary.
+        ze = x[..., 0::2].astype(np.int16)
+        zo = x[..., 1::2].astype(np.int16)
+        z_re, z_im, z_scale = self.fftplan.fft(
+            ze, zo, scaling="stage", monitor=monitor
+        )
+
+        a_re = z_re[..., self.a_idx].astype(np.int64)
+        a_im = z_im[..., self.a_idx].astype(np.int64)
+        b_re = z_re[..., self.b_idx].astype(np.int64)
+        b_im = -z_im[..., self.b_idx].astype(np.int64)
+
+        # Even/odd spectra (each halved to keep headroom; rounded shifts).
+        fe_re = (a_re + b_re + 1) >> 1
+        fe_im = (a_im + b_im + 1) >> 1
+        fo_re = (a_re - b_re + 1) >> 1
+        fo_im = (a_im - b_im + 1) >> 1
+
+        rnd = np.int64(1) << 14
+        t_re = (self.wre * fo_im + self.wim * fo_re + rnd) >> 15
+        t_im = (self.wim * fo_im - self.wre * fo_re + rnd) >> 15
+        out_re = fe_re + t_re
+        out_im = fe_im + t_im
+        if monitor is not None:
+            monitor.check_saturation("rfft_untangle", out_re, INT16_MIN, INT16_MAX)
+            monitor.check_saturation("rfft_untangle", out_im, INT16_MIN, INT16_MAX)
+        return saturate16(out_re), saturate16(out_im), z_scale
+
+
+#: Process-local plan cache (see ``fftplan._PLANS`` for the contract).
+_PLANS: Dict[int, RFFTPlan] = {}
+
+
+def get_rfft_plan(n: int) -> RFFTPlan:
+    """The shared :class:`RFFTPlan` for length ``n`` (built on first use)."""
+    plan = _PLANS.get(n)
+    if plan is None:
+        if len(_PLANS) >= 64:
+            _PLANS.clear()
+        plan = RFFTPlan(int(n))
+        _PLANS[n] = plan
+    return plan

@@ -1,0 +1,90 @@
+"""Content-addressed cache of float BCM weight spectra.
+
+``BCMDense.forward`` (training), ``bcm_matvec`` (the float reference
+kernel), and ``quantize_model`` all compute ``numpy.fft.fft(w, axis=-1)``
+of the same first-column weight tensors; sessions and fleets repeat the
+layer forwards with frozen weights, so the transform is pure overhead
+after the first call.  The cache keys on a BLAKE2b digest of the array
+*contents* (plus shape/dtype), not on object identity:
+
+* frozen weights (inference, sessions, fleets) hit on every forward;
+* training updates change the bytes, miss, and recompute — in-place
+  optimizer mutation cannot serve stale spectra;
+* ``numpy.fft`` is deterministic within a process, so a hit is
+  bit-identical to recomputing.
+
+Cached arrays are returned read-only (shared across callers); everything
+in this repo already treats them as immutable (``BCMDense.backward``
+conjugates into fresh arrays).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+#: Entry/byte budgets before least-recently-used eviction.  Sized for the
+#: model zoo (a handful of BCM layers per model, a few models per
+#: process); the byte cap bounds what a training loop — whose every step
+#: mutates the weights and therefore misses — can accumulate in dead
+#: entries.
+_MAX_ENTRIES = 64
+_MAX_BYTES = 8 * 1024 * 1024
+
+_CACHE: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+_CACHE_BYTES = 0
+_HITS = 0
+_MISSES = 0
+
+
+def _fingerprint(w: np.ndarray) -> bytes:
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str((w.shape, w.dtype.str)).encode())
+    digest.update(np.ascontiguousarray(w).tobytes())
+    return digest.digest()
+
+
+def weight_spectra(w) -> np.ndarray:
+    """``numpy.fft.fft(w, axis=-1)`` memoized on array contents.
+
+    Returns a read-only complex array; bit-identical to an uncached
+    transform of the same data.
+    """
+    global _HITS, _MISSES, _CACHE_BYTES
+    w = np.asarray(w, dtype=np.float64)
+    key = _fingerprint(w)
+    spec = _CACHE.get(key)
+    if spec is not None:
+        _HITS += 1
+        _CACHE.move_to_end(key)
+        return spec
+    _MISSES += 1
+    spec = np.fft.fft(w, axis=-1)
+    spec.setflags(write=False)
+    _CACHE[key] = spec
+    _CACHE_BYTES += spec.nbytes
+    while _CACHE and (len(_CACHE) > _MAX_ENTRIES or _CACHE_BYTES > _MAX_BYTES):
+        _, evicted = _CACHE.popitem(last=False)
+        _CACHE_BYTES -= evicted.nbytes
+    return spec
+
+
+def spectra_cache_stats() -> dict:
+    """Hit/miss counters and current size of the spectra cache."""
+    return {
+        "entries": len(_CACHE),
+        "bytes": _CACHE_BYTES,
+        "hits": _HITS,
+        "misses": _MISSES,
+    }
+
+
+def clear_spectra_cache() -> None:
+    """Drop all cached spectra (tests and memory-pressure escape hatch)."""
+    global _HITS, _MISSES, _CACHE_BYTES
+    _CACHE.clear()
+    _CACHE_BYTES = 0
+    _HITS = 0
+    _MISSES = 0

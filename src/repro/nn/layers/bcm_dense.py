@@ -23,6 +23,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.kernels.spectra import weight_spectra
 from repro.nn.initializers import circulant_spectral, zeros
 from repro.nn.module import Layer, Parameter
 
@@ -76,7 +77,9 @@ class BCMDense(Layer):
             )
         xb = x.reshape(n, self.q, k)
         fx = np.fft.fft(xb, axis=-1)  # (N, q, k)
-        fw = np.fft.fft(self.weight.data, axis=-1)  # (p, q, k)
+        # Content-addressed cache: hits while weights are frozen
+        # (inference), recomputes after every optimizer step (training).
+        fw = weight_spectra(self.weight.data)  # (p, q, k)
         fy = np.einsum("pqk,nqk->npk", fw, fx)  # (N, p, k)
         y = np.fft.ifft(fy, axis=-1).real.reshape(n, self.out_padded)
         y = y[:, : self.out_features]

@@ -33,10 +33,12 @@ from repro.fixedpoint import (
     INT16_MIN,
     OverflowMonitor,
     best_frac_bits,
-    q15_fft,
-    q15_ifft,
+    q15_fft_reference,
+    q15_ifft_reference,
     saturate16,
 )
+from repro.kernels.bcmplan import get_bcm_plan
+from repro.kernels.spectra import weight_spectra
 from repro.nn.layers import (
     BCMDense,
     Conv2D,
@@ -165,6 +167,19 @@ class QuantBCM:
         monitor: Optional[OverflowMonitor] = None,
         mode: Optional[str] = None,
     ) -> np.ndarray:
+        """Planned forward: the fused FFT -> multiply -> IFFT chain of
+        :class:`repro.kernels.bcmplan.BCMPlan`, bit-identical to
+        :meth:`forward_reference` (asserted by ``tests/test_kernels.py``)."""
+        return get_bcm_plan(self).forward(x, monitor=monitor, mode=mode)
+
+    def forward_reference(
+        self,
+        x: np.ndarray,
+        monitor: Optional[OverflowMonitor] = None,
+        mode: Optional[str] = None,
+    ) -> np.ndarray:
+        """The legacy per-call implementation over the legacy FFT kernels,
+        kept as the bit-identity oracle for the planned :meth:`forward`."""
         mode = mode or self.mode
         if mode not in BCM_MODES:
             raise ConfigurationError(f"bcm mode must be one of {BCM_MODES}")
@@ -179,17 +194,21 @@ class QuantBCM:
         zeros = np.zeros_like(xb)
 
         if mode == "stage":
-            fx_re, fx_im, _ = q15_fft(xb, zeros, scaling="stage", monitor=monitor)
+            fx_re, fx_im, _ = q15_fft_reference(
+                xb, zeros, scaling="stage", monitor=monitor
+            )
             fft_scale = log2k  # fx = FFT(x_raw) / 2**log2k
         elif mode == "prescale":
             # Algorithm 1 lines 3-4: SCALE-DOWN by the vector length.
             pre = (xb.astype(np.int32) + (1 << (log2k - 1))) >> log2k
-            fx_re, fx_im, _ = q15_fft(
+            fx_re, fx_im, _ = q15_fft_reference(
                 pre.astype(np.int16), zeros, scaling="none", monitor=monitor
             )
             fft_scale = log2k
         else:  # "none": unprotected (ablation) — saturates on real inputs
-            fx_re, fx_im, _ = q15_fft(xb, zeros, scaling="none", monitor=monitor)
+            fx_re, fx_im, _ = q15_fft_reference(
+                xb, zeros, scaling="none", monitor=monitor
+            )
             fft_scale = 0
 
         # Complex multiply with the stored spectra and accumulate over q.
@@ -233,7 +252,7 @@ class QuantBCM:
         else:
             h = np.zeros(n, dtype=np.int64)
 
-        b_re, b_im, ifft_scale = q15_ifft(
+        b_re, b_im, ifft_scale = q15_ifft_reference(
             saturate16(acc_re), saturate16(acc_im),
             scaling="stage" if mode == "stage" else "none",
             monitor=monitor,
@@ -424,7 +443,8 @@ def quantize_model(
             )
             cur_frac = out_frac
         elif isinstance(layer, BCMDense):
-            spectra = np.fft.fft(layer.weight.data, axis=-1)
+            # Shared with the float forwards: same cache, same bits.
+            spectra = weight_spectra(layer.weight.data)
             peak = float(
                 max(np.max(np.abs(spectra.real)), np.max(np.abs(spectra.imag)), 1e-12)
             )

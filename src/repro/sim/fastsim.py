@@ -76,6 +76,20 @@ if TYPE_CHECKING:  # avoid a circular import (hw.board uses sim.atoms)
 #: ``repro.hw.board`` power table, bound lazily for the same reason.
 _POWER_W: Dict[str, float] = {}
 
+#: ``repro.hw.board.Device``, bound lazily for the same reason (used by
+#: the per-run fallback check — a module-level cache keeps the import
+#: lookup out of the session hot loop).
+_DEVICE_CLASS = None
+
+
+def _device_class():
+    global _DEVICE_CLASS
+    if _DEVICE_CLASS is None:
+        from repro.hw.board import Device
+
+        _DEVICE_CLASS = Device
+    return _DEVICE_CLASS
+
 
 def _component_power() -> Dict[str, float]:
     if not _POWER_W:
@@ -139,6 +153,9 @@ class CompiledProgram:
     exec_bookings: List[list] = field(default_factory=list)
     exec_time: List[float] = field(default_factory=list)
     exec_total: List[float] = field(default_factory=list)
+    #: Per-series cumsum output buffers for the continuous replay (the
+    #: hot loop reuses them instead of allocating per run per key).
+    _cumsum_scratch: Dict[str, np.ndarray] = field(default_factory=dict)
     commit_flag: List[bool] = field(default_factory=list)
     commit_time: List[float] = field(default_factory=list)
     commit_cpu: List[float] = field(default_factory=list)
@@ -503,11 +520,16 @@ class FastMachine:
     # -- internals ----------------------------------------------------------
 
     def _needs_fallback(self) -> bool:
-        """Exact replay only covers the stock simulator classes."""
-        from repro.hw.board import Device
+        """Exact replay only covers the stock simulator classes.
 
+        Re-evaluated on every run: the checked attributes (supply, trace,
+        capacitor, voltage logging) are plain mutable state a caller may
+        swap between runs, and each change must re-route to the
+        reference machine.  Only the ``Device`` class lookup is hoisted
+        (module-level lazy import).
+        """
         device = self.device
-        if type(device) is not Device or type(device.meter) is not EnergyMeter:
+        if type(device) is not _device_class() or type(device.meter) is not EnergyMeter:
             return True
         supply = device.supply
         if supply is not None:
@@ -551,6 +573,21 @@ class FastMachine:
         logits = self.runtime.compute_logits(x)
         return logits, int(np.argmax(logits)), False
 
+    @staticmethod
+    def _cumsum_last(program: CompiledProgram, tag: str, series: np.ndarray) -> float:
+        """Last element of ``np.cumsum(series)`` through a reused buffer.
+
+        ``cumsum`` is the bit-equality argument (sequential left-to-right
+        additions); the preallocated ``out=`` buffer only removes the
+        per-run allocation the profiler flagged in session hot loops.
+        """
+        scratch = program._cumsum_scratch.get(tag)
+        if scratch is None:
+            scratch = np.empty_like(series)
+            program._cumsum_scratch[tag] = scratch
+        np.cumsum(series, out=scratch)
+        return float(scratch[-1])
+
     def _run_continuous(self, x, defer_logits: bool) -> Tuple[RunResult, bool]:
         p = self._program
         meter = self.device.meter
@@ -560,14 +597,14 @@ class FastMachine:
         for key in p.comp_keys:
             series = p._energy_series[key]
             series[0] = meter.energy_j.get(key, 0.0)
-            new_e[key] = float(np.cumsum(series)[-1])
+            new_e[key] = self._cumsum_last(p, "e:" + key, series)
             series = p._time_series[key]
             series[0] = meter.time_s.get(key, 0.0)
-            new_t[key] = float(np.cumsum(series)[-1])
+            new_t[key] = self._cumsum_last(p, "t:" + key, series)
         for key in p.purpose_keys:
             series = p._purpose_series[key]
             series[0] = meter.purpose_energy_j.get(key, 0.0)
-            new_p[key] = float(np.cumsum(series)[-1])
+            new_p[key] = self._cumsum_last(p, "p:" + key, series)
 
         diff_e = self._diff(meter.energy_j, new_e, p.comp_keys)
         diff_t = self._diff(meter.time_s, new_t, p.comp_keys)

@@ -71,6 +71,14 @@ class IntermittentMachine:
         self.monitor = monitor
         self.stall_limit = stall_limit
         self.max_reboots = max_reboots
+        # (atoms, total_cycles) of the last validated program: the
+        # runtimes memoize build_atoms(), so a session streaming samples
+        # through one machine validates and sums the program once instead
+        # of per inference (hot-loop hoist; pure bookkeeping, the cached
+        # float is the exact value the per-run sum produced).  The list
+        # itself is held — an identity compare on a freed id could alias
+        # a different program.
+        self._validated: Optional[Tuple[list, float]] = None
 
     # -- public API -----------------------------------------------------------
 
@@ -85,8 +93,12 @@ class IntermittentMachine:
     def run(self, x: np.ndarray) -> RunResult:
         """Execute one inference on sample ``x`` and return statistics."""
         atoms = self.runtime.build_atoms()
-        validate_program(atoms)
-        program_cycles = total_cycles(atoms)
+        if self._validated is not None and self._validated[0] is atoms:
+            program_cycles = self._validated[1]
+        else:
+            validate_program(atoms)
+            program_cycles = total_cycles(atoms)
+            self._validated = (atoms, program_cycles)
         device = self.device
         supply = device.supply
         meter_start = device.meter.snapshot()

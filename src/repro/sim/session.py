@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.kernels import warm_quantized_model
 from repro.power.monitor import VoltageMonitor
 from repro.sim.fastsim import make_machine
 from repro.sim.results import RunResult
@@ -120,6 +121,12 @@ class SensingSession:
         self.engine = engine
         self.runtime = runtime
         self.give_up_after_dnf = give_up_after_dnf
+        # Hoist kernel-plan construction out of the per-sample hot loop:
+        # prebuild the FFT/BCM plans for the runtime's quantized model so
+        # the first compute_logits call (or deferred batch) starts warm.
+        qmodel = getattr(runtime, "qmodel", None)
+        if qmodel is not None:
+            warm_quantized_model(qmodel)
 
     def run(self, samples: np.ndarray) -> SessionStats:
         """Process ``samples`` sequentially; stops early after repeated
