@@ -1,10 +1,10 @@
 """Extension — fast-engine speedup: precompiled replay vs stepwise walk.
 
-Runs Figure 7-style continuous-power sensing sessions (every runtime of
-the paper's evaluation on the MNIST Table II model) through both
-simulation engines and reports the wall-clock speedup of
-``engine="fast"`` over the reference ``IntermittentMachine``, plus an
-unasserted harvested-power (square-wave supply) data point.
+Runs Figure 7-style sensing sessions (every runtime of the paper's
+evaluation on the MNIST Table II model) through both simulation engines
+— continuous power for all runtimes plus the paper's square-wave
+harvested supply for TAILS and ACE+FLEX — and reports the wall-clock
+speedup of ``engine="fast"`` over the reference ``IntermittentMachine``.
 
 Three properties are checked:
 
@@ -16,16 +16,19 @@ Three properties are checked:
   where no speedup can be demonstrated);
 * **speedup** — on the LEA-based runtimes (TAILS / ACE / ACE+FLEX, whose
   667-atom vector-op programs dominate Figure 7's walk cost) the fast
-  engine must be >= 5x faster per continuous-power session.  BASE and
-  SONIC compile to ~9 coarse atoms, so their sessions are bound by the
-  (already batched) logits computation and land nearer 3x; they are
-  recorded but not asserted.
+  engine must be >= 5x faster per continuous-power session, and the
+  segment-batched harvested replay must hold >= 5x on the harvested
+  TAILS / ACE+FLEX cases too (median ratio over interleaved paired
+  rounds — see ``_paired_engines``).  BASE and SONIC compile to ~9
+  coarse atoms, so their continuous sessions are bound by the (already
+  batched) logits computation; they must still clear >= 1.5x.
 
 Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the session and skips the
-speedup assertion — identity and determinism are timing-free and must
+speedup assertions — identity and determinism are timing-free and must
 hold anywhere.
 """
 
+import gc
 import os
 import time
 
@@ -49,6 +52,12 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 N_SAMPLES = 8 if SMOKE else 48
 ASSERTED_RUNTIMES = ("TAILS", "ACE", "ACE+FLEX")
 MIN_SPEEDUP = 5.0
+# Logits-bound coarse-atom runtimes: the sim is negligible next to the
+# (batched) integer inference, so the win is structurally smaller.
+CONTINUOUS_FLOOR_RUNTIMES = ("BASE", "SONIC")
+CONTINUOUS_MIN_SPEEDUP = 1.5
+HARVESTED_RUNTIMES = ("TAILS", "ACE+FLEX")
+HARVESTED_MIN_SPEEDUP = 5.0
 
 RESULT_FIELDS = (
     "runtime", "completed", "predicted_class", "wall_time_s",
@@ -67,19 +76,66 @@ def _session(qmodel, name, engine, harvested=False):
     return SensingSession(device, runtime, monitor=monitor, engine=engine)
 
 
-def _timed_run(qmodel, name, engine, samples, harvested=False, repeats=2):
-    """Best-of-``repeats`` wall time (fresh session each repeat, so every
-    run starts from an identical device/supply state)."""
-    best = float("inf")
-    stats = None
-    for _ in range(repeats):
-        session = _session(qmodel, name, engine, harvested=harvested)
-        t0 = time.perf_counter()
-        run_stats = session.run(samples)
-        best = min(best, time.perf_counter() - t0)
-        if stats is None:
-            stats = run_stats
-    return stats, best
+def _paired_engines(qmodel, name, samples, harvested=False, rounds=5):
+    """Interleaved paired-round timing of reference vs fast.
+
+    Independent best-of timing is noisy for the speedup *ratio*:
+    machine-wide load drift between the reference block and the fast
+    block shows up directly in it.  Alternating the pair within every
+    round (the ``benchmarks._record.paired_times`` idiom) makes the
+    ratio robust to that drift — background noise slows both sides of a
+    round about equally.  Three extra guards, because host speed here
+    swings by double-digit percentages over tens of seconds:
+
+    * each side of a round is the best of three back-to-back runs
+      (fresh session each, so every run starts from an identical
+      device/supply state), absorbing one-off stalls;
+    * the side order flips every round, so drift *within* a round biases
+      alternate rounds in opposite directions and the median ratio
+      centers;
+    * garbage collection runs before each timed run, outside the timed
+      region, so a collection never lands inside one.
+
+    Returns ``(ref_stats, fast_stats, again_stats, ref_median_s,
+    fast_median_s, median_ratio)``: the first stats seen per side (plus
+    a second fast run's stats for the determinism check), the per-side
+    medians of the per-round best times, and the median of the
+    per-round ``ref/fast`` ratios (the asserted quantity).
+    """
+    for engine in ("reference", "fast"):  # warm compilation + dispatch
+        _session(qmodel, name, engine, harvested=harvested).run(samples[:1])
+    stats_seen = {"reference": [], "fast": []}
+
+    def timed_side(engine):
+        best = float("inf")
+        for _ in range(3):
+            session = _session(qmodel, name, engine, harvested=harvested)
+            gc.collect()
+            t0 = time.perf_counter()
+            stats = session.run(samples)
+            best = min(best, time.perf_counter() - t0)
+            if len(stats_seen[engine]) < 2:
+                stats_seen[engine].append(stats)
+        return best
+
+    ref_times, fast_times, ratios = [], [], []
+    for r in range(rounds):
+        if r % 2 == 0:
+            ref_s = timed_side("reference")
+            fast_s = timed_side("fast")
+        else:
+            fast_s = timed_side("fast")
+            ref_s = timed_side("reference")
+        ref_times.append(ref_s)
+        fast_times.append(fast_s)
+        ratios.append(ref_s / max(fast_s, 1e-9))
+    ref_times.sort()
+    fast_times.sort()
+    ratios.sort()
+    mid = rounds // 2
+    return (stats_seen["reference"][0], stats_seen["fast"][0],
+            stats_seen["fast"][1], ref_times[mid], fast_times[mid],
+            ratios[mid])
 
 
 def _assert_identical(ref_stats, fast_stats, context):
@@ -102,20 +158,13 @@ def test_fastsim_speedup(benchmark):
     def run():
         rows = {}
         for name in RUNTIME_ORDER:
-            # Warm both paths once (program compilation, numpy dispatch).
-            _timed_run(qmodel, name, "fast", samples[:1])
-            _timed_run(qmodel, name, "reference", samples[:1])
-            ref_stats, ref_s = _timed_run(qmodel, name, "reference", samples)
-            fast_stats, fast_s = _timed_run(qmodel, name, "fast", samples)
-            again_stats, _ = _timed_run(qmodel, name, "fast", samples)
-            rows[name] = (ref_stats, fast_stats, again_stats, ref_s, fast_s)
+            rows[name] = _paired_engines(
+                qmodel, name, samples, rounds=1 if SMOKE else 3)
         harv = {}
-        for name in ("TAILS", "ACE+FLEX"):
-            ref_stats, ref_s = _timed_run(qmodel, name, "reference",
-                                          samples, harvested=True)
-            fast_stats, fast_s = _timed_run(qmodel, name, "fast",
-                                            samples, harvested=True)
-            harv[name] = (ref_stats, fast_stats, ref_s, fast_s)
+        for name in HARVESTED_RUNTIMES:
+            harv[name] = _paired_engines(
+                qmodel, name, samples, harvested=True,
+                rounds=1 if SMOKE else 7)
         return rows, harv
 
     rows, harv = run_once(benchmark, run)
@@ -123,43 +172,62 @@ def test_fastsim_speedup(benchmark):
     print()
     print(f"fast-engine speedup, continuous power, {N_SAMPLES}-sample "
           f"sessions{' (smoke)' if SMOKE else ''}:")
-    for name, (ref_stats, fast_stats, again_stats, ref_s, fast_s) in rows.items():
+    for name, (ref_stats, fast_stats, again_stats, ref_s, fast_s,
+               ratio) in rows.items():
         _assert_identical(ref_stats, fast_stats, f"{name}/ref-vs-fast")
         _assert_identical(fast_stats, again_stats, f"{name}/determinism")
-        speedup = ref_s / max(fast_s, 1e-9)
         print(f"  {name:9s} reference {ref_s * 1e3:7.1f} ms   "
-              f"fast {fast_s * 1e3:7.1f} ms   {speedup:5.2f}x")
-        benchmark.extra_info[f"{name}_speedup"] = round(speedup, 2)
-    print("harvested power (square wave), identity + recorded speedup:")
-    for name, (ref_stats, fast_stats, ref_s, fast_s) in harv.items():
+              f"fast {fast_s * 1e3:7.1f} ms   {ratio:5.2f}x")
+        benchmark.extra_info[f"{name}_speedup"] = round(ratio, 2)
+    print("harvested power (square wave), identity + paired-round speedup:")
+    for name, (ref_stats, fast_stats, again_stats, ref_s, fast_s,
+               ratio) in harv.items():
         _assert_identical(ref_stats, fast_stats, f"{name}/harvested")
-        speedup = ref_s / max(fast_s, 1e-9)
+        _assert_identical(fast_stats, again_stats,
+                          f"{name}/harvested-determinism")
         print(f"  {name:9s} reference {ref_s * 1e3:7.1f} ms   "
-              f"fast {fast_s * 1e3:7.1f} ms   {speedup:5.2f}x")
-        benchmark.extra_info[f"{name}_harvested_speedup"] = round(speedup, 2)
+              f"fast {fast_s * 1e3:7.1f} ms   {ratio:5.2f}x")
+        benchmark.extra_info[f"{name}_harvested_speedup"] = round(ratio, 2)
     benchmark.extra_info["samples"] = N_SAMPLES
     benchmark.extra_info["smoke"] = SMOKE
 
+    # median_s / reference_median_s are the per-side round medians (what
+    # the CI regression gate normalizes); the recorded speedup is the
+    # asserted median-of-ratios, which can differ slightly from the
+    # ratio of the medians.
     cases = {}
-    for name, (_, _, _, ref_s, fast_s) in rows.items():
+    for name, (_, _, _, ref_s, fast_s, ratio) in rows.items():
         cases[name] = {
             "median_s": fast_s,
             "reference_median_s": ref_s,
-            "speedup_vs_reference": ref_s / max(fast_s, 1e-9),
+            "speedup_vs_reference": ratio,
         }
-    for name, (_, _, ref_s, fast_s) in harv.items():
+    for name, (_, _, _, ref_s, fast_s, ratio) in harv.items():
         cases[f"{name}_harvested"] = {
             "median_s": fast_s,
             "reference_median_s": ref_s,
-            "speedup_vs_reference": ref_s / max(fast_s, 1e-9),
+            "speedup_vs_reference": ratio,
         }
     print(f"  wrote {record_bench('fastsim', cases, meta={'samples': N_SAMPLES})}")
 
     if not SMOKE:
         for name in ASSERTED_RUNTIMES:
-            ref_s, fast_s = rows[name][3], rows[name][4]
-            assert ref_s / max(fast_s, 1e-9) >= MIN_SPEEDUP, (
-                f"{name}: fast engine only "
-                f"{ref_s / max(fast_s, 1e-9):.2f}x faster (need "
-                f">= {MIN_SPEEDUP}x)"
+            ratio = rows[name][5]
+            assert ratio >= MIN_SPEEDUP, (
+                f"{name}: fast engine only {ratio:.2f}x faster by "
+                f"paired-round median (need >= {MIN_SPEEDUP}x)"
+            )
+        for name in CONTINUOUS_FLOOR_RUNTIMES:
+            ratio = rows[name][5]
+            assert ratio >= CONTINUOUS_MIN_SPEEDUP, (
+                f"{name}: logits-bound continuous session only "
+                f"{ratio:.2f}x faster by paired-round median (need "
+                f">= {CONTINUOUS_MIN_SPEEDUP}x)"
+            )
+        for name in HARVESTED_RUNTIMES:
+            ratio = harv[name][5]
+            assert ratio >= HARVESTED_MIN_SPEEDUP, (
+                f"{name} (harvested): segment-batched replay only "
+                f"{ratio:.2f}x faster by paired-round median (need "
+                f">= {HARVESTED_MIN_SPEEDUP}x)"
             )

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fresh BENCH_*.json vs the committed baseline.
+
+Compares every case of a freshly produced benchmark file against the
+baseline committed at the repo root and fails when a case regressed by
+more than the tolerance (default 30%).
+
+Raw wall-clock medians do not transfer across hosts (CI runners vs the
+dev box) or across smoke/full sample counts, so the gate diffs the
+*normalized* median where it can: ``median_s / reference_median_s`` —
+the fast engine's cost in units of the reference engine measured in the
+same process on the same host.  That is exactly the ratio of the two
+case medians the file records, and it is the quantity the fastsim bench
+exists to protect.  Cases without a ``reference_median_s`` fall back to
+comparing raw ``median_s`` (only meaningful when baseline and fresh run
+on comparable hosts — CI keeps those cases out of the gated file).
+
+A case present in the baseline but missing from the fresh file counts
+as a regression (a silently dropped benchmark is how perf rot hides);
+new cases in the fresh file are reported but never fail.
+
+Exit status is the number of regressed cases, so CI fails on any.
+
+Run:  python scripts/check_bench_regression.py \
+          --fresh /tmp/bench/BENCH_fastsim.json \
+          --baseline BENCH_fastsim.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TOLERANCE = 0.30
+
+
+def load_cases(path: Path) -> dict:
+    payload = json.loads(path.read_text())
+    cases = payload.get("cases")
+    if not isinstance(cases, dict) or not cases:
+        raise SystemExit(f"{path}: no cases recorded")
+    return cases
+
+
+def metric(stats: dict):
+    """(value, label) to compare — lower is always better."""
+    median = stats.get("median_s")
+    if median is None:
+        return None, "missing median_s"
+    ref = stats.get("reference_median_s")
+    if ref and ref > 0:
+        return median / ref, "median_s/reference_median_s"
+    return median, "median_s"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fresh", type=Path, required=True,
+        help="BENCH_*.json produced by the run under test")
+    parser.add_argument(
+        "--baseline", type=Path, default=ROOT / "BENCH_fastsim.json",
+        help="committed BENCH_*.json to compare against "
+             "(default: BENCH_fastsim.json at the repo root)")
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional slowdown before a case fails "
+             f"(default {DEFAULT_TOLERANCE:.2f} = "
+             f"{DEFAULT_TOLERANCE:.0%})")
+    args = parser.parse_args(argv)
+
+    baseline = load_cases(args.baseline)
+    fresh = load_cases(args.fresh)
+
+    regressions = 0
+    print(f"bench regression gate: {args.fresh} vs {args.baseline} "
+          f"(tolerance {args.tolerance:.0%})")
+    for case in sorted(baseline):
+        base_val, base_label = metric(baseline[case])
+        if base_val is None:
+            print(f"  ?  {case:22s} baseline has no median_s — skipped")
+            continue
+        if case not in fresh:
+            print(f"  !! {case:22s} missing from fresh results")
+            regressions += 1
+            continue
+        fresh_val, fresh_label = metric(fresh[case])
+        if fresh_val is None or fresh_label != base_label:
+            print(f"  !! {case:22s} metric mismatch "
+                  f"({base_label} vs {fresh_label})")
+            regressions += 1
+            continue
+        change = fresh_val / base_val - 1.0
+        flag = "!!" if change > args.tolerance else "ok"
+        print(f"  {flag} {case:22s} {base_label}: "
+              f"{base_val:.4g} -> {fresh_val:.4g}  ({change:+.1%})")
+        if change > args.tolerance:
+            regressions += 1
+    for case in sorted(set(fresh) - set(baseline)):
+        print(f"  +  {case:22s} new case (not gated)")
+
+    if regressions:
+        print(f"{regressions} case(s) regressed more than "
+              f"{args.tolerance:.0%}")
+    else:
+        print("no regressions beyond tolerance")
+    return regressions
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -236,6 +236,59 @@ class EmpiricalTrace(PowerTrace):
             return self._pw * dt
         return self._energy_slow(t, dt)
 
+    def energy_batch(self, starts, dts) -> np.ndarray:
+        """Exact vectorization of :meth:`energy` over the prefix-sum table.
+
+        Replicates the branch structure of :meth:`_energy_slow` /
+        :meth:`_cum_at` / :meth:`_cum_in` elementwise — every arithmetic
+        expression keeps the scalar association order, ``searchsorted``
+        plus clip *is* the clamped ``bisect_right`` of :meth:`_locate`,
+        and branch selection via masks picks bit-identical values (the
+        cached-segment fast path of :meth:`energy` returns the same
+        ``powers[i] * dt`` as the slow path's same-segment branch, per
+        the purity contract above, so batching never sees the hint).
+        """
+        t = np.asarray(starts, dtype=np.float64)
+        dt = np.broadcast_to(np.asarray(dts, dtype=np.float64), t.shape)
+        if np.any(dt < 0.0):
+            raise ConfigurationError("dt must be non-negative")
+        if np.any(t < 0.0):
+            raise ConfigurationError("time must be non-negative")
+        if t.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        times, powers, cum, n = self.times, self.powers, self._cum, self._n
+        d = self._duration
+
+        def locate_v(x):
+            return np.clip(np.searchsorted(times, x, side="right") - 1,
+                           0, n - 1)
+
+        def cum_in_v(x):
+            i = locate_v(x)
+            return cum[i] + powers[i] * (x - times[i])
+
+        def cum_at_v(x):
+            if self.end == "loop":
+                k = np.floor(x / d)
+                u = x - k * d
+                adj = u >= d  # fp guard: x/d rounded down past a boundary
+                u = np.where(adj, 0.0, u)
+                k = np.where(adj, k + 1.0, k)
+                beyond = k * self._cycle_j + cum_in_v(u)
+            elif self.end == "hold":
+                beyond = self._cycle_j + powers[-1] * (x - d)
+            else:  # dead
+                beyond = np.full(x.shape, self._cycle_j)
+            return np.where(x >= d, beyond, cum_in_v(x))
+
+        end = t + dt
+        i = locate_v(t)
+        same_seg = end <= times[i + 1]
+        start_f = cum[i] + powers[i] * (t - times[i])
+        within = np.where(same_seg, powers[i] * dt, cum_in_v(end) - start_f)
+        out = np.where(end <= d, within, cum_at_v(end) - cum_at_v(t))
+        return np.where(dt == 0.0, 0.0, out)
+
     # -- lookup internals -----------------------------------------------------
 
     def _energy_slow(self, t: float, dt: float) -> float:

@@ -44,6 +44,26 @@ class PowerTrace:
         trapezoid = getattr(np, "trapezoid", None) or np.trapz
         return float(trapezoid(ps, ts))
 
+    def energy_batch(self, starts, dts) -> np.ndarray:
+        """Vectorized :meth:`energy`: element ``i`` is *bitwise* equal to
+        ``energy(float(starts[i]), float(dts[i]))``.
+
+        This is the segment-table export the fast simulation engine
+        (:mod:`repro.sim.fastsim`) batches harvested-charge computation
+        through, so the equality contract is exact, not approximate —
+        ``tests/test_trace_batching.py`` pins it per trace family.  The
+        base implementation simply loops over the scalar method (correct
+        for any subclass by construction); traces with closed forms
+        override it with an exact vectorization.  ``dts`` broadcasts
+        against ``starts``; both are 1-D.
+        """
+        starts = np.asarray(starts, dtype=np.float64)
+        dts_b = np.broadcast_to(np.asarray(dts, dtype=np.float64), starts.shape)
+        return np.array(
+            [self.energy(float(t), float(d)) for t, d in zip(starts, dts_b)],
+            dtype=np.float64,
+        )
+
 
 class ConstantTrace(PowerTrace):
     """Steady harvest (e.g. a strong thermal gradient)."""
@@ -60,6 +80,14 @@ class ConstantTrace(PowerTrace):
         if dt < 0:
             raise ConfigurationError("dt must be non-negative")
         return self.power_w * dt
+
+    def energy_batch(self, starts, dts) -> np.ndarray:
+        starts = np.asarray(starts, dtype=np.float64)
+        dts_b = np.broadcast_to(np.asarray(dts, dtype=np.float64), starts.shape)
+        if np.any(dts_b < 0):
+            raise ConfigurationError("dt must be non-negative")
+        # Elementwise float64 multiply == the scalar expression per element.
+        return self.power_w * dts_b
 
 
 class SquareWaveTrace(PowerTrace):
@@ -78,6 +106,9 @@ class SquareWaveTrace(PowerTrace):
         self.power_w = power_w
         self.period_s = period_s
         self.duty = duty
+        #: Reused elementwise buffers for ``energy_batch_trusted`` (the
+        #: replay is single-threaded; allocation dominates otherwise).
+        self._batch_scratch = None
 
     def power(self, t: float) -> float:
         phase = math.fmod(t, self.period_s)
@@ -101,6 +132,82 @@ class SquareWaveTrace(PowerTrace):
             hi = min(end, p0 + on_len)
             if hi > lo:
                 total_on += hi - lo
+        return self.power_w * total_on
+
+    def energy_batch(self, starts, dts) -> np.ndarray:
+        """Exact vectorization of :meth:`energy`.
+
+        Each element accumulates its period overlaps left to right in the
+        same order as the scalar loop; masked-out periods contribute a
+        literal ``+ 0.0``, which is exact because the running ``total_on``
+        is always non-negative (``x + 0.0 == x`` for ``x >= 0``).  Windows
+        spanning many periods fall back to the scalar loop — the fast
+        engine's windows are atom draws and millisecond recharge steps,
+        never multi-period integrations.
+        """
+        starts = np.asarray(starts, dtype=np.float64)
+        dts_b = np.broadcast_to(np.asarray(dts, dtype=np.float64), starts.shape)
+        if np.any(dts_b < 0):
+            raise ConfigurationError("dt must be non-negative")
+        return self.energy_batch_trusted(starts, dts_b)
+
+    def energy_batch_trusted(self, starts, dts_b) -> np.ndarray:
+        """:meth:`energy_batch` minus input validation (which costs more
+        than the arithmetic for the fast engine's block sizes).  Callers
+        guarantee 1-D float64 arrays of one shape with non-negative
+        ``dts_b``; results are bitwise equal to :meth:`energy_batch`.
+        """
+        n = starts.size
+        if n == 0:
+            return np.zeros(0, dtype=np.float64)
+        period = self.period_s
+        on_len = self.duty * period
+        # Scratch buffers persist across calls (allocation costs more than
+        # the arithmetic at the fast engine's block sizes); only the final
+        # ``power_w * total_on`` product is a fresh array handed back.
+        scratch = self._batch_scratch
+        if scratch is None or scratch[0].size < n:
+            scratch = self._batch_scratch = (
+                np.empty(n), np.empty(n), np.empty(n), np.empty(n),
+                np.empty(n), np.empty(n), np.empty(n, dtype=bool),
+                np.empty(n, dtype=bool),
+            )
+        end = scratch[0][:n]
+        first = scratch[1][:n]
+        last = scratch[2][:n]
+        k = scratch[3][:n]
+        hi = scratch[4][:n]
+        lo = scratch[5][:n]
+        m1 = scratch[6][:n]
+        m2 = scratch[7][:n]
+        np.add(starts, dts_b, out=end)
+        np.divide(starts, period, out=first)
+        np.floor(first, out=first)
+        np.divide(end, period, out=last)
+        np.floor(last, out=last)
+        np.subtract(last, first, out=k)
+        max_span = int(k.max())
+        if max_span > 64:  # pathological window: delegate to the loop
+            return PowerTrace.energy_batch(self, starts, dts_b)
+        # The j-loop below is the scalar method's period loop with each
+        # intermediate computed elementwise into reused buffers (the ops
+        # and their order are unchanged, so every float matches the scalar
+        # result bit for bit).  Skipped periods contribute ``d * False``
+        # — a literal ``+/- 0.0`` — which is exact on the non-negative
+        # running ``total_on``.
+        total_on = np.zeros(n, dtype=np.float64)
+        for j in range(max_span + 1):
+            np.add(first, j, out=k)
+            np.multiply(k, period, out=lo)  # p0
+            np.add(lo, on_len, out=hi)
+            np.minimum(end, hi, out=hi)
+            np.maximum(starts, lo, out=lo)
+            np.subtract(hi, lo, out=hi)  # d = hi - lo
+            np.less_equal(k, last, out=m1)
+            np.greater(hi, 0.0, out=m2)
+            np.logical_and(m1, m2, out=m1)
+            np.multiply(hi, m1, out=hi)
+            np.add(total_on, hi, out=total_on)
         return self.power_w * total_on
 
 

@@ -167,6 +167,125 @@ class CompiledProgram:
     #: supply draw of completing atoms ``[0, i)`` (commit draws included).
     cum_draw_energy: np.ndarray = field(default_factory=lambda: np.zeros(1))
 
+    # -- harvested segment-replay event tables ------------------------------
+    # One *event* per supply draw of a full pass over the non-divisible
+    # atoms: an exec draw per atom plus a commit draw when committing.
+    # Divisible atoms are span breakers (their chunk sizes depend on the
+    # live capacitor voltage) and own no events.  The replay batches the
+    # per-event harvest windows through ``trace.energy_batch`` and keeps
+    # only the voltage recurrence scalar — see ``_run_harvested``.
+    n_events: int = 0
+    ev_dt: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    ev_total: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    ev_cycles: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    ev_dt_l: List[float] = field(default_factory=list)
+    ev_total_l: List[float] = field(default_factory=list)
+    ev_atom: List[int] = field(default_factory=list)
+    ev_is_exec: List[bool] = field(default_factory=list)
+    #: Durable atom index this event advances the cursor to (commit events
+    #: of atoms without volatile state), or -1.
+    ev_durable_to: List[int] = field(default_factory=list)
+    #: Snapshot-candidacy test operand: the atom index for exec events, a
+    #: large negative sentinel for commit events.  The reference consults
+    #: the voltage monitor only at the top of an *atom* with un-durable
+    #: progress, so ``durable_atom < ev_snap_atom[j]`` is exactly "event
+    #: ``j`` may snapshot" — the replay batches through every other event
+    #: no matter how low the voltage sits.
+    ev_snap_atom: List[int] = field(default_factory=list)
+    #: Next event index ``>= j`` that is a snapshot candidate under
+    #: straight-line durable tracking from the program start (len
+    #: ``n_events + 2``, sentinel ``n_events``), plus the same
+    #: candidacy as a boolean mask.  These are *batch-sizing hints*,
+    #: not correctness gates: the replay's live ``durable_atom`` test
+    #: still decides every event; the hints only keep a mid-batch
+    #: candidate from invalidating a long precomputed clock tail.
+    ev_next_snap: List[int] = field(default_factory=list)
+    ev_snap_cand: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+    ev_bookings: List[list] = field(default_factory=list)
+    #: Flat concatenation of every event's booking tuples, in replay order.
+    book_stream: List[Tuple] = field(default_factory=list)
+    #: Booking-stream offset of each event (len ``n_events + 1``): event
+    #: ``j`` books stream entries ``[ev_book_start[j], ev_book_start[j+1])``.
+    ev_book_start: List[int] = field(default_factory=list)
+    #: Event offset where atom ``a``'s events start (len ``n_atoms + 1``;
+    #: defined for divisible atoms too — they contribute zero events).
+    atom_event_lo: List[int] = field(default_factory=list)
+    #: First divisible atom index at or after ``a`` (len ``n_atoms + 1``);
+    #: the span starting at a non-divisible atom runs to this boundary.
+    span_end_atom: List[int] = field(default_factory=list)
+    #: Per meter key: a per-event prefix count (``cnt[j]`` = number of this
+    #: key's bookings before event ``j``; len ``n_events + 1``), the sorted
+    #: booking-stream positions, the energy/time terms booked there, and
+    #: whether every time term is zero (fram/sram — their flush can skip
+    #: the time cumsum because ``t + 0.0 == t`` on the non-negative
+    #: accumulator).  The span replay cumsums the sub-slice a flushed
+    #: event range covers (the reference's per-key add sequence).
+    #: item: (key, cnt, pos, e_arr, t_arr, t_zero, e_list, t_list) — the
+    #: list mirrors serve the short-range scalar-add path in ``flush``.
+    key_items: List[Tuple] = field(default_factory=list)
+    purpose_items: List[Tuple] = field(default_factory=list)  # (key, cnt, pos, e_arr, e_list)
+    #: Per-capacitance discharge tables: ``(2.0 * ev_total) / cap_f``
+    #: elementwise, exactly the ``Capacitor.draw`` subtrahend per event.
+    _draw_tables: Dict[float, List[float]] = field(default_factory=dict)
+    #: Cumulative variant (len ``n_events + 1``, head 0.0): total
+    #: squared-voltage drain of events ``< j`` assuming zero harvest — a
+    #: lower bound on the live trajectory, used to size batches and to
+    #: bound the span walk's provably trigger-free prefix.
+    _draw_cums: Dict[float, np.ndarray] = field(default_factory=dict)
+    #: Largest single-event entry of :meth:`draw_table` per capacitance.
+    _draw_maxes: Dict[float, float] = field(default_factory=dict)
+    #: Python-list mirrors of the continuous per-key term series (index 0
+    #: head slot excluded): short series replay faster through a scalar
+    #: accumulation loop than through a ``np.cumsum`` call (same adds,
+    #: same bits — the loop *is* the sequential definition of cumsum).
+    _terms_l: Dict[str, List[float]] = field(default_factory=dict)
+    #: Per-atom FLEX checkpoint draw ``(bookings, time_s, total_j)`` for a
+    #: snapshot at the top of atom ``a`` (``volatile_prev[a] +
+    #: FLEX_COMMIT_WORDS`` words) — the exact tuple the reference builds on
+    #: every warning, hoisted out of the storm loop.  Lazy-built.
+    _ck_draws: List[Tuple] = field(default_factory=list)
+
+    def ck_draws(self) -> List[Tuple]:
+        """Checkpoint draw arguments per atom (see ``_ck_draws``)."""
+        if not self._ck_draws and self.n_atoms:
+            for a in range(self.n_atoms):
+                ct, ce, cf = _commit_cost(
+                    self.volatile_prev[a] + C.FLEX_COMMIT_WORDS)
+                ck_cpu = ce - cf
+                self._ck_draws.append((
+                    [("cpu", ct, ck_cpu, "checkpoint"),
+                     ("fram", 0.0, cf, "checkpoint")],
+                    ct, ck_cpu + cf))
+        return self._ck_draws
+
+    def draw_table(self, cap_f: float) -> List[float]:
+        """Discharge term per event for a ``cap_f``-farad capacitor."""
+        table = self._draw_tables.get(cap_f)
+        if table is None:
+            table = ((2.0 * self.ev_total) / cap_f).tolist()
+            self._draw_tables[cap_f] = table
+        return table
+
+    def draw_cum(self, cap_f: float) -> np.ndarray:
+        """Prefix sums of :meth:`draw_table` (len ``n_events + 1``)."""
+        cum = self._draw_cums.get(cap_f)
+        if cum is None:
+            cum = np.zeros(self.n_events + 1, dtype=np.float64)
+            np.cumsum((2.0 * self.ev_total) / cap_f, out=cum[1:])
+            self._draw_cums[cap_f] = cum
+        return cum
+
+    def draw_max(self, cap_f: float) -> float:
+        """Largest single-event discharge term (0.0 with no events)."""
+        m = self._draw_maxes.get(cap_f)
+        if m is None:
+            m = (
+                float((2.0 * self.ev_total).max() / cap_f)
+                if self.n_events else 0.0
+            )
+            self._draw_maxes[cap_f] = m
+        return m
+
 
 def _commit_cost(words: int) -> Tuple[float, float, float]:
     """``(time_s, energy_j, fram_j)`` of one progress commit — the exact
@@ -347,6 +466,109 @@ def compile_program(runtime: InferenceRuntime) -> CompiledProgram:
         s_arr = np.empty(len(purpose_terms[key]) + 1, dtype=np.float64)
         s_arr[1:] = purpose_terms[key]
         p._purpose_series[key] = s_arr
+
+    # --- harvested segment-replay event tables -----------------------------
+    # One event per supply draw over the non-divisible atoms (the floats
+    # are the *same objects* the scalar tables hold, so the comparison and
+    # discharge arithmetic in the span replay is bit-for-bit the scalar
+    # path's).  Divisible atoms contribute no events and delimit spans.
+    ev_dt: List[float] = []
+    ev_total: List[float] = []
+    ev_cycles: List[float] = []
+    book_stream: List[Tuple] = []
+    p.ev_book_start.append(0)
+    for i, atom in enumerate(atoms):
+        p.atom_event_lo.append(len(ev_dt))
+        if atom.divisible:
+            continue
+        ev_dt.append(p.exec_time[i])
+        ev_total.append(p.exec_total[i])
+        ev_cycles.append(p.cycles[i])
+        p.ev_atom.append(i)
+        p.ev_is_exec.append(True)
+        p.ev_durable_to.append(-1)
+        p.ev_bookings.append(p.exec_bookings[i])
+        book_stream.extend(p.exec_bookings[i])
+        p.ev_book_start.append(len(book_stream))
+        if p.commit_flag[i]:
+            ev_dt.append(p.commit_time[i])
+            ev_total.append(p.commit_total[i])
+            ev_cycles.append(0.0)
+            p.ev_atom.append(i)
+            p.ev_is_exec.append(False)
+            p.ev_durable_to.append(i + 1 if atom.volatile_words == 0 else -1)
+            p.ev_bookings.append(p.commit_bookings[i])
+            book_stream.extend(p.commit_bookings[i])
+            p.ev_book_start.append(len(book_stream))
+    p.atom_event_lo.append(len(ev_dt))
+    p.n_events = len(ev_dt)
+    p.ev_dt = np.asarray(ev_dt, dtype=np.float64)
+    p.ev_total = np.asarray(ev_total, dtype=np.float64)
+    p.ev_cycles = np.asarray(ev_cycles, dtype=np.float64)
+    p.ev_dt_l = ev_dt
+    p.ev_total_l = ev_total
+    p.ev_snap_atom = [
+        a if is_exec else -(1 << 30)
+        for a, is_exec in zip(p.ev_atom, p.ev_is_exec)
+    ]
+    # Straight-line candidate set: replay the durable cursor over the
+    # events once (commits of volatile-free atoms advance it) and mark
+    # the exec events it lags behind — the only places a snapshot can
+    # fire when the program runs uninterrupted.
+    cand = [False] * p.n_events
+    dur = 0
+    for j in range(p.n_events):
+        if p.ev_is_exec[j] and dur < p.ev_atom[j]:
+            cand[j] = True
+        dto = p.ev_durable_to[j]
+        if dto > dur:
+            dur = dto
+    p.ev_next_snap = [p.n_events] * (p.n_events + 2)
+    nxt = p.n_events
+    for j in range(p.n_events - 1, -1, -1):
+        if cand[j]:
+            nxt = j
+        p.ev_next_snap[j] = nxt
+    p.ev_snap_cand = np.asarray(cand, dtype=bool)
+    p.book_stream = book_stream
+
+    span_end = [0] * (p.n_atoms + 1)
+    span_end[p.n_atoms] = p.n_atoms
+    for i in range(p.n_atoms - 1, -1, -1):
+        span_end[i] = i if atoms[i].divisible else span_end[i + 1]
+    p.span_end_atom = span_end
+
+    kpos: Dict[str, List[int]] = {}
+    ke: Dict[str, List[float]] = {}
+    kt: Dict[str, List[float]] = {}
+    ppos: Dict[str, List[int]] = {}
+    pe: Dict[str, List[float]] = {}
+    for s, (key, t, e, purpose) in enumerate(book_stream):
+        kpos.setdefault(key, []).append(s)
+        ke.setdefault(key, []).append(e)
+        kt.setdefault(key, []).append(t)
+        ppos.setdefault(purpose, []).append(s)
+        pe.setdefault(purpose, []).append(e)
+    bounds = np.asarray(p.ev_book_start, dtype=np.int64)
+    p.key_items = [
+        (key,
+         np.searchsorted(np.asarray(kpos[key], dtype=np.int64), bounds).tolist(),
+         kpos[key],
+         np.asarray(ke[key], dtype=np.float64),
+         np.asarray(kt[key], dtype=np.float64),
+         all(t == 0.0 for t in kt[key]),
+         ke[key],
+         kt[key])
+        for key in kpos
+    ]
+    p.purpose_items = [
+        (key,
+         np.searchsorted(np.asarray(ppos[key], dtype=np.int64), bounds).tolist(),
+         ppos[key],
+         np.asarray(pe[key], dtype=np.float64),
+         pe[key])
+        for key in ppos
+    ]
     return p
 
 
@@ -517,6 +739,27 @@ class FastMachine:
             self._program = self._cache.get(self.runtime)
         return self._program
 
+    def warm(self) -> None:
+        """Do the one-time setup ahead of the first run.
+
+        Sessions call this at construction so program compilation (or the
+        fallback machine's validation pass) lands in session setup rather
+        than in the first sample's latency.
+        """
+        if self._needs_fallback():
+            if self._fallback is None:
+                self._fallback = IntermittentMachine(
+                    self.device,
+                    self.runtime,
+                    monitor=self.monitor,
+                    stall_limit=self.stall_limit,
+                    max_reboots=self.max_reboots,
+                )
+            self._fallback.warm()
+            return
+        if self._program is None:
+            self._program = self._cache.get(self.runtime)
+
     # -- internals ----------------------------------------------------------
 
     def _needs_fallback(self) -> bool:
@@ -588,23 +831,52 @@ class FastMachine:
         np.cumsum(series, out=scratch)
         return float(scratch[-1])
 
+    @staticmethod
+    def _series_total(program: CompiledProgram, tag: str, series: np.ndarray,
+                      head: float) -> float:
+        """``head`` plus ``series[1:]``, accumulated left to right.
+
+        Short series (small programs like BASE/SONIC) run faster through
+        a plain Python loop than through a ``np.cumsum`` call — and the
+        loop *is* the sequential definition of cumsum, so the result is
+        bit-identical either way.  (Not ``sum()``: CPython 3.12's builtin
+        uses compensated summation, which is *better* than sequential
+        adds and therefore not bit-equal to the reference.)
+        """
+        n = series.shape[0] - 1
+        if n <= 64:
+            terms = program._terms_l.get(tag)
+            if terms is None:
+                terms = series[1:].tolist()
+                program._terms_l[tag] = terms
+            total = head
+            for term in terms:
+                total = total + term
+            return total
+        series[0] = head
+        return FastMachine._cumsum_last(program, tag, series)
+
     def _run_continuous(self, x, defer_logits: bool) -> Tuple[RunResult, bool]:
         p = self._program
         meter = self.device.meter
         new_e: Dict[str, float] = {}
         new_t: Dict[str, float] = {}
         new_p: Dict[str, float] = {}
+        series_total = self._series_total
+        e_start = meter.energy_j
+        t_start = meter.time_s
+        p_start = meter.purpose_energy_j
         for key in p.comp_keys:
-            series = p._energy_series[key]
-            series[0] = meter.energy_j.get(key, 0.0)
-            new_e[key] = self._cumsum_last(p, "e:" + key, series)
-            series = p._time_series[key]
-            series[0] = meter.time_s.get(key, 0.0)
-            new_t[key] = self._cumsum_last(p, "t:" + key, series)
+            new_e[key] = series_total(
+                p, "e:" + key, p._energy_series[key], e_start.get(key, 0.0)
+            )
+            new_t[key] = series_total(
+                p, "t:" + key, p._time_series[key], t_start.get(key, 0.0)
+            )
         for key in p.purpose_keys:
-            series = p._purpose_series[key]
-            series[0] = meter.purpose_energy_j.get(key, 0.0)
-            new_p[key] = self._cumsum_last(p, "p:" + key, series)
+            new_p[key] = series_total(
+                p, "p:" + key, p._purpose_series[key], p_start.get(key, 0.0)
+            )
 
         diff_e = self._diff(meter.energy_j, new_e, p.comp_keys)
         diff_t = self._diff(meter.time_s, new_t, p.comp_keys)
@@ -637,9 +909,12 @@ class FastMachine:
         )
         return result, needs
 
-    def _run_harvested(self, x, defer_logits: bool) -> Tuple[RunResult, bool]:
-        # The exact-replay loop.  Local-variable mirrors of the supply,
-        # meter and monitor state; every expression matches its reference
+    def _run_harvested_reference(self, x, defer_logits: bool) -> Tuple[RunResult, bool]:
+        # The exact-replay scalar loop — the differential midpoint between
+        # the reference machine and the segment-batched ``_run_harvested``
+        # (kept callable so the conformance suite can triangulate a
+        # mismatch).  Local-variable mirrors of the supply, meter and
+        # monitor state; every expression matches its reference
         # counterpart operation for operation (see module docstring).
         p = self._program
         device = self.device
@@ -943,6 +1218,1025 @@ class FastMachine:
         active = sum(diff_t.values())
         charge = supply.charge_time_s - charge_start
         wall = supply.clock_s - clock_start
+        result = RunResult(
+            runtime=runtime.name,
+            completed=completed,
+            logits=logits,
+            predicted_class=pred,
+            wall_time_s=wall,
+            active_time_s=active,
+            charge_time_s=charge,
+            energy_j=sum(diff_e.values()),
+            energy_by_component=diff_e,
+            checkpoint_energy_j=diff_p.get("checkpoint", 0.0),
+            reboots=reboots,
+            executed_cycles=executed_cycles,
+            program_cycles=p.program_cycles,
+            dnf_reason=dnf_reason,
+        )
+        return result, needs
+
+    def _run_harvested(self, x, defer_logits: bool) -> Tuple[RunResult, bool]:
+        """Segment-batched exact replay of a harvested run.
+
+        The capacitor recurrence itself (``sqrt(v**2 +/- 2E/C)`` per draw)
+        is inherently sequential, so it stays scalar — but everything
+        *around* it batches.  Non-divisible atoms between two divisible
+        atoms form a *span* whose draw sequence is known at compile time
+        (the event tables on :class:`CompiledProgram`): the replay
+        precomputes the event clocks with one ``np.cumsum``, the harvested
+        energies with one ``trace.energy_batch`` call, and the discharge
+        terms from the per-capacitance draw table, leaving a ~15-op scalar
+        loop per event.  Meter bookings are deferred and flushed per span
+        (or up to the brown-out / snapshot event that interrupts it) via
+        per-key cumsums over the compiled booking stream — the same
+        left-to-right additions the reference makes, so every float stays
+        bit-identical.  Recharge gaps batch the same way: the fixed-step
+        charge clock/wait prefix sums and harvest energies are precomputed
+        in blocks around the scalar voltage update.  Divisible atoms,
+        snapshots, and restores keep the scalar ``draw`` path (their
+        timing depends on the live voltage); a snapshot or brown-out
+        inside a span invalidates the precomputed clocks beyond it, so
+        batching simply restarts from that event.
+        """
+        p = self._program
+        device = self.device
+        supply = device.supply
+        cap = supply.capacitor
+        trace = supply.trace
+        eff = supply.efficiency
+        meter = device.meter
+        runtime = self.runtime
+        monitor = self.monitor
+
+        cap_f = cap.capacitance_f
+        v_max = cap.v_max
+        v_off = cap.v_off
+        v_on = cap.v_on
+        v_off_sq = v_off ** 2
+        half_c = 0.5 * cap_f
+        const_power = trace.power_w if type(trace) is ConstantTrace else None
+        trace_energy = trace.energy
+        if type(trace) is SquareWaveTrace:
+            # Specialized scalar twin of SquareWaveTrace.energy for the
+            # storm/short-stretch paths: same operations in the same
+            # order (bit-identical), minus method dispatch, attribute
+            # reloads, and the dt >= 0 check (all dts here are >= 0).
+            _sq_p = trace.power_w
+            _sq_t = trace.period_s
+            _sq_on = trace.duty * trace.period_s
+            # Single-period fast path: most storm/checkpoint windows live
+            # inside the period the previous call ended in.  The cached
+            # bounds are shrunk by ~450 ulps per side so both scalar
+            # floors provably land on the cached period index, making the
+            # one-term evaluation bit-equal to the general loop.
+            _c_p0 = 0.0
+            _c_on = 0.0
+            _c_lo = 1.0
+            _c_hi = 0.0  # empty guard window: first call takes the loop
+
+            def trace_energy(t, dt, _floor=math.floor, _max=max, _min=min):
+                nonlocal _c_p0, _c_on, _c_lo, _c_hi
+                end = t + dt
+                if _c_lo <= t and end < _c_hi:
+                    hi = end if end < _c_on else _c_on
+                    if hi > t:
+                        return _sq_p * (hi - t)
+                    return _sq_p * 0.0
+                total_on = 0.0
+                k1 = int(_floor(end / _sq_t))
+                for k in range(int(_floor(t / _sq_t)), k1 + 1):
+                    p0 = k * _sq_t
+                    lo = _max(t, p0)
+                    hi = _min(end, p0 + _sq_on)
+                    if hi > lo:
+                        total_on += hi - lo
+                _c_p0 = k1 * _sq_t
+                _c_on = _c_p0 + _sq_on
+                _c_lo = _c_p0 * (1.0 + 1e-13 if _c_p0 > 0.0 else 1.0 - 1e-13)
+                p1 = (k1 + 1) * _sq_t
+                _c_hi = p1 * (1.0 - 1e-13 if p1 > 0.0 else 1.0 + 1e-13)
+                return _sq_p * total_on
+
+        # The replay always hands ``energy_batch`` float64 arrays of one
+        # shape with non-negative dts, so traces exporting a trusted
+        # (validation-free) twin get called through it.
+        energy_batch = getattr(trace, "energy_batch_trusted", trace.energy_batch)
+        step = supply.charge_step_s
+        timeout_s = supply.charge_timeout_s
+        # Long-run mean harvest per recharge step, where the trace family
+        # has a closed form — used only to size the first recharge batch
+        # (an estimate; correctness never depends on it).
+        if const_power is not None:
+            mean_step_j = (const_power * step) * eff
+        elif type(trace) is SquareWaveTrace:
+            mean_step_j = trace.power_w * trace.duty * step * eff
+        else:
+            mean_step_j = 0.0
+
+        e_by = dict(meter.energy_j)
+        t_by = dict(meter.time_s)
+        p_by = dict(meter.purpose_energy_j)
+        start_e = dict(e_by)
+        start_t = dict(t_by)
+        start_p = dict(p_by)
+
+        v = cap.voltage
+        clock = supply.clock_s
+        failures = supply.failures
+        charge_time = supply.charge_time_s
+        clock_start = clock
+        charge_start = charge_time
+
+        snapshot_on = p.snapshot_on_warning and monitor is not None
+        v_warn = monitor.v_warn if monitor is not None else 0.0
+        # Single-compare storm guard: v >= v_off > -1 always, so the
+        # sentinel disables the low-voltage peek when snapshots are off.
+        sv_warn = v_warn if snapshot_on else -1.0
+        mon_warnings = monitor.warnings if monitor is not None else 0
+
+        e_get = e_by.get
+        t_get = t_by.get
+        p_get = p_by.get
+        _sqrt = math.sqrt  # local bind: no module-attr lookup in hot loops
+
+        def draw(bookings, time_s, total_j):
+            """Scalar ``Device._draw_and_record`` path (see the reference
+            replay) — used for divisible chunks, snapshots, and restores.
+
+            ``v >= v_off`` is a loop invariant (brown-outs reset to
+            ``v_off``, recharge only raises) and squaring is monotone, so
+            the reference's ``max(0, .)`` clamps on ``avail``/``usable``
+            are dead (``x - x == +0.0``, never negative).  ``avail`` is
+            only read on the brown-out branch, so it is recomputed there
+            from the captured pre-charge voltage — the same float, hence
+            the same bits."""
+            nonlocal v, clock, failures
+            pv = v
+            if const_power is not None:
+                harvested = (const_power * time_s) * eff
+            else:
+                harvested = trace_energy(clock, time_s) * eff
+            clock += time_s
+            if harvested != 0.0:
+                # A zero harvest leaves v bit-unchanged: correctly rounded
+                # sqrt of the rounded square returns v exactly (relative
+                # error < 1/4 ulp), so the charge update can be skipped.
+                new_sq = v ** 2 + 2.0 * harvested / cap_f
+                root = _sqrt(new_sq)
+                v = root if root < v_max else v_max
+            usable = half_c * (v ** 2 - v_off_sq)
+            if total_j > usable:
+                v = v_off
+                failures += 1
+                avail = half_c * (pv ** 2 - v_off_sq)
+                spent = avail + harvested
+                if total_j < spent:
+                    spent = total_j
+                scale = spent / total_j if total_j > 0 else 0.0
+                for compo, t, e, purpose in bookings:
+                    t = t * scale
+                    e = e * scale
+                    e_by[compo] = e_get(compo, 0.0) + e
+                    t_by[compo] = t_get(compo, 0.0) + t
+                    p_by[purpose] = p_get(purpose, 0.0) + e
+                return False
+            new_sq = v ** 2 - 2.0 * total_j / cap_f
+            if new_sq < v_off_sq:
+                new_sq = v_off_sq
+            v = _sqrt(new_sq)
+            for compo, t, e, purpose in bookings:
+                e_by[compo] = e_get(compo, 0.0) + e
+                t_by[compo] = t_get(compo, 0.0) + t
+                p_by[purpose] = p_get(purpose, 0.0) + e
+            return True
+
+        n_atoms = p.n_atoms
+        cycles_l = p.cycles
+        power_l = p.power_w
+        purpose_l = p.purpose
+        component_l = p.component
+        divisible_l = p.divisible
+        iterations_l = p.iterations
+        per_iter_l = p.per_iter
+        e_iter_l = p.e_iter
+        mem_unit_l = p.mem_unit
+        fram_unit_l = p.fram_unit
+        sram_count_l = p.sram_count
+        commit_flag_l = p.commit_flag
+        commit_time_l = p.commit_time
+        commit_cpu_l = p.commit_cpu
+        commit_fram_l = p.commit_fram
+        volatile_words_l = p.volatile_words
+        volatile_prev_l = p.volatile_prev
+
+        drw_l = p.draw_table(cap_f)
+        ev_dt_np = p.ev_dt
+        ev_cycles_np = p.ev_cycles
+        ev_dt_l = p.ev_dt_l
+        ev_total_l = p.ev_total_l
+        ev_atom_l = p.ev_atom
+        ev_exec_l = p.ev_is_exec
+        ev_snap_l = p.ev_snap_atom
+        next_snap_l = p.ev_next_snap
+        snap_cand_np = p.ev_snap_cand
+        drw_cum = p.draw_cum(cap_f)
+        drw_max = p.draw_max(cap_f)
+        ck_draw_l = p.ck_draws() if snapshot_on else None
+        warn_sq = sv_warn * sv_warn
+        v_off_sq_safe = v_off_sq + drw_max + 1e-9
+        # The recharge loop exits at the first ``v >= v_on``, so every
+        # iteration enters below ``v_on``; when a single step's charge
+        # cannot lift ``v_on**2`` past ``v_max**2``, the v_max clamp is
+        # provably dead for the whole walk (margin covers fl drift).
+        if const_power is not None:
+            _step_chg_bound = (2.0 * ((const_power * step) * eff)) / cap_f
+        elif type(trace) is SquareWaveTrace:
+            _step_chg_bound = (2.0 * ((trace.power_w * step) * eff)) / cap_f
+        else:
+            _step_chg_bound = float("inf")
+        no_clamp_recharge = (
+            v_on * v_on + _step_chg_bound * 1.000001 + 1e-9
+            < v_max * v_max
+        )
+        # Constant-dt operand for the recharge ``energy_batch`` calls
+        # (``np.broadcast_to`` costs more than the batch at these sizes).
+        step_fill = None
+
+        def draw_ev(jj):
+            """``draw`` specialized to stream event ``jj``: duration,
+            total, bookings and the discharge subtrahend all come from
+            compiled tables (the storm path replays events one at a time,
+            but their per-event constants never change).  Dead-clamp and
+            deferred-``avail`` reasoning as in ``draw``."""
+            nonlocal v, clock, failures
+            pv = v
+            time_s = ev_dt_l[jj]
+            if const_power is not None:
+                harvested = (const_power * time_s) * eff
+            else:
+                harvested = trace_energy(clock, time_s) * eff
+            clock += time_s
+            if harvested != 0.0:
+                new_sq = v ** 2 + 2.0 * harvested / cap_f
+                root = _sqrt(new_sq)
+                v = root if root < v_max else v_max
+            usable = half_c * (v ** 2 - v_off_sq)
+            total_j = ev_total_l[jj]
+            if total_j > usable:
+                v = v_off
+                failures += 1
+                avail = half_c * (pv ** 2 - v_off_sq)
+                spent = avail + harvested
+                if total_j < spent:
+                    spent = total_j
+                scale = spent / total_j if total_j > 0 else 0.0
+                for compo, t, e, purpose in ev_bookings_l[jj]:
+                    t = t * scale
+                    e = e * scale
+                    e_by[compo] = e_get(compo, 0.0) + e
+                    t_by[compo] = t_get(compo, 0.0) + t
+                    p_by[purpose] = p_get(purpose, 0.0) + e
+                return False
+            new_sq = v ** 2 - drw_l[jj]
+            if new_sq < v_off_sq:
+                new_sq = v_off_sq
+            v = _sqrt(new_sq)
+            for compo, t, e, purpose in ev_bookings_l[jj]:
+                e_by[compo] = e_get(compo, 0.0) + e
+                t_by[compo] = t_get(compo, 0.0) + t
+                p_by[purpose] = p_get(purpose, 0.0) + e
+            return True
+        ev_durable_l = p.ev_durable_to
+        ev_bookings_l = p.ev_bookings
+        ev_book_start_l = p.ev_book_start
+        book_stream = p.book_stream
+        atom_lo_l = p.atom_event_lo
+        span_end_l = p.span_end_atom
+        key_items = p.key_items
+        purpose_items = p.purpose_items
+
+        durable_atom = 0
+        durable_it = 0
+        cursor_atom = 0
+        cursor_it = 0
+        executed_cycles = 0.0
+        sub_exec = 0.0
+        reboots = 0
+        stall = 0
+        last_da, last_di = -1, -1
+        dnf_reason = ""
+        completed = False
+
+        # Scratch for flush cumsums: every range it accumulates is bounded
+        # by the booking stream (and the event count never exceeds it).
+        kbuf = np.empty(len(book_stream) + 2)
+
+        def flush(e0, e1):
+            """Apply events ``[e0, e1)``'s deferred meter bookings and
+            executed-cycle adds — the reference's add sequence, replayed
+            either directly (short ranges) or as per-key cumsums."""
+            nonlocal sub_exec
+            if e0 >= e1:
+                return
+            b0 = ev_book_start_l[e0]
+            b1 = ev_book_start_l[e1]
+            if b1 - b0 <= 80:
+                for ev in range(e0, e1):
+                    if ev_exec_l[ev]:
+                        sub_exec += cycles_l[ev_atom_l[ev]]
+                for s in range(b0, b1):
+                    compo, t, e, purpose = book_stream[s]
+                    e_by[compo] = e_get(compo, 0.0) + e
+                    t_by[compo] = t_get(compo, 0.0) + t
+                    p_by[purpose] = p_get(purpose, 0.0) + e
+                return
+            # Commit events intersperse cycles of 0.0; "+ 0.0" is exact
+            # on the non-negative running sum.
+            buf = kbuf[:e1 - e0 + 1]
+            buf[0] = sub_exec
+            buf[1:] = ev_cycles_np[e0:e1]
+            np.add.accumulate(buf, out=buf)
+            sub_exec = float(buf[-1])
+            e_ins = []
+            t_ins = []
+            p_ins = []
+            for key, cnt, pos, earr, tarr, t_zero, e_tl, t_tl in key_items:
+                klo = cnt[e0]
+                khi = cnt[e1]
+                if khi <= klo:
+                    continue
+                first = pos[klo]
+                if khi - klo <= 48:
+                    # Few terms: the sequential adds beat numpy call
+                    # overhead (and are the cumsum's exact definition).
+                    e_val = e_get(key, 0.0)
+                    for x in e_tl[klo:khi]:
+                        e_val = e_val + x
+                    if t_zero:
+                        t_val = None
+                    else:
+                        t_val = t_get(key, 0.0)
+                        for x in t_tl[klo:khi]:
+                            t_val = t_val + x
+                else:
+                    kb = kbuf[:khi - klo + 1]
+                    kb[0] = e_get(key, 0.0)
+                    kb[1:] = earr[klo:khi]
+                    np.add.accumulate(kb, out=kb)
+                    e_val = float(kb[-1])
+                    if t_zero:
+                        t_val = None
+                    else:
+                        kb[0] = t_get(key, 0.0)
+                        kb[1:] = tarr[klo:khi]
+                        np.add.accumulate(kb, out=kb)
+                        t_val = float(kb[-1])
+                if key in e_by:
+                    e_by[key] = e_val
+                else:
+                    e_ins.append((first, key, e_val))
+                if t_val is None:
+                    # Every term is 0.0 and the accumulator is >= 0, so
+                    # the add sequence leaves it bit-unchanged.
+                    if key not in t_by:
+                        t_ins.append((first, key, 0.0))
+                elif key in t_by:
+                    t_by[key] = t_val
+                else:
+                    t_ins.append((first, key, t_val))
+            for key, cnt, pos, earr, e_tl in purpose_items:
+                klo = cnt[e0]
+                khi = cnt[e1]
+                if khi <= klo:
+                    continue
+                if khi - klo <= 48:
+                    p_val = p_get(key, 0.0)
+                    for x in e_tl[klo:khi]:
+                        p_val = p_val + x
+                else:
+                    kb = kbuf[:khi - klo + 1]
+                    kb[0] = p_get(key, 0.0)
+                    kb[1:] = earr[klo:khi]
+                    np.add.accumulate(kb, out=kb)
+                    p_val = float(kb[-1])
+                if key in p_by:
+                    p_by[key] = p_val
+                else:
+                    p_ins.append((pos[klo], key, p_val))
+            # New keys enter the dicts in first-booking order, matching
+            # the reference's insertion sequence.
+            if e_ins:
+                e_ins.sort()
+                for _, key, val in e_ins:
+                    e_by[key] = val
+            if t_ins:
+                t_ins.sort()
+                for _, key, val in t_ins:
+                    t_by[key] = val
+            if p_ins:
+                p_ins.sort()
+                for _, key, val in p_ins:
+                    p_by[key] = val
+
+        while True:
+            # === the reference's _run_from(atoms, cursor, durable) ===
+            sub_exec = 0.0
+            browned = False
+            while cursor_atom < n_atoms:
+                ca = cursor_atom
+                if not divisible_l[ca]:
+                    # === span replay over [ca, span_end[ca]) ===
+                    e_idx = atom_lo_l[ca]
+                    e_end = atom_lo_l[span_end_l[ca]]
+                    e_flush = e_idx
+                    while e_idx < e_end and not browned:
+                        # Snapshot peek: the reference consults the
+                        # monitor only at the top of an atom with
+                        # un-durable progress, so only an exec event with
+                        # ``durable_atom < atom`` can snapshot (and shift
+                        # every later batch clock).  Handle exactly those
+                        # on the scalar path; every other event — however
+                        # low the voltage — stays batched, and the batch
+                        # body rewinds here the moment a genuine
+                        # candidate turns low mid-stretch.
+                        if v <= sv_warn and durable_atom < ev_snap_l[e_idx]:
+                            jj = e_idx
+                            aa = ev_atom_l[jj]
+                            if e_flush < jj:
+                                flush(e_flush, jj)
+                            mon_warnings += 1
+                            ck_bk, ck_t, ck_tot = ck_draw_l[aa]
+                            if not draw(ck_bk, ck_t, ck_tot):
+                                cursor_atom, cursor_it = aa, 0
+                                browned = True
+                                break
+                            durable_atom, durable_it = aa, 0
+                            if not draw_ev(jj):
+                                cursor_atom, cursor_it = aa, 0
+                                browned = True
+                                break
+                            sub_exec += cycles_l[aa]
+                            e_idx = jj + 1
+                            if commit_flag_l[aa]:
+                                cj = e_idx
+                                if not draw_ev(cj):
+                                    cursor_atom, cursor_it = aa + 1, 0
+                                    browned = True
+                                    break
+                                dto = ev_durable_l[cj]
+                                if dto >= 0:
+                                    durable_atom, durable_it = dto, 0
+                                e_idx = cj + 1
+                            e_flush = e_idx
+                            continue
+                        if snapshot_on:
+                            # Batch-entry sizing.  A numpy entry costs a
+                            # fixed ~20-30us in dispatches regardless of
+                            # size, while the scalar stretch below costs
+                            # ~0.5us per event — the break-even sits near
+                            # 48 events.  When the nearest place a
+                            # snapshot could fire — the next
+                            # straight-line candidate, or (above the
+                            # warning level) the zero-harvest drain
+                            # horizon, whichever is farther — is within
+                            # that window, hop to it in scalar form and
+                            # skip the fixed cost.  Otherwise take the
+                            # whole span; the
+                            # predictive cut after the charge table trims
+                            # it to the first *projected* trigger, so a
+                            # mid-batch snapshot almost never discards a
+                            # computed tail.
+                            lim = next_snap_l[e_idx + 1]
+                            if v > sv_warn:
+                                g = int(drw_cum.searchsorted(
+                                    float(drw_cum[e_idx])
+                                    + (v * v - warn_sq)))
+                                if g > lim:
+                                    lim = g
+                            if lim > e_end:
+                                lim = e_end
+                            B = (lim - e_idx) if lim - e_idx <= 48 \
+                                else e_end - e_idx
+                        else:
+                            B = e_end - e_idx
+                        if B > 48:
+                            # Provably trigger-free prefix (used to slice
+                            # the walk below, and to skip the predictive
+                            # cut when it covers the whole batch): charge
+                            # only raises the zero-harvest drain floor,
+                            # so while ``v**2 - cum_drain`` provably
+                            # clears every threshold — brown-out and the
+                            # v_off clamp (by more than the largest
+                            # single discharge) and, with snapshots on,
+                            # the warning level — the walk needs no
+                            # per-event tests.  The 1e-9 margin dwarfs
+                            # the prefix-sum association drift (ulps),
+                            # and the v_max clamp only lowers the
+                            # trajectory, which is the safe direction for
+                            # every skipped test.
+                            k0 = 0
+                            if B >= 16:
+                                lim = v * v - v_off_sq_safe
+                                if snapshot_on:
+                                    lim_w = v * v - warn_sq - 1e-9
+                                    if lim_w < lim:
+                                        lim = lim_w
+                                if lim > 0.0:
+                                    k0 = int(drw_cum.searchsorted(
+                                        float(drw_cum[e_idx]) + lim)) \
+                                        - e_idx
+                                    if k0 > B:
+                                        k0 = B
+                                    elif k0 < 0:
+                                        k0 = 0
+                            dts = ev_dt_np[e_idx:e_idx + B]
+                            seg = np.empty(B + 1)
+                            seg[0] = clock
+                            seg[1:] = dts
+                            clocks_np = np.cumsum(seg)
+                            if const_power is not None:
+                                h_np = (const_power * dts) * eff
+                            else:
+                                h_np = energy_batch(clocks_np[:B], dts) * eff
+                            chg_np = (2.0 * h_np) / cap_f
+                            if snapshot_on and k0 < B:
+                                # Predictive cut: project the squared
+                                # voltage over the batch (charge minus
+                                # drain, no clamp/rounding — drift is
+                                # ulps against a margin of volts) and end
+                                # the batch just before the first
+                                # candidate event projected at or below
+                                # the warning level.  The exact in-loop
+                                # test still decides; a misprediction
+                                # only costs one rewind.  When the
+                                # trigger-free prefix spans the batch the
+                                # projection cannot fire (charge only
+                                # raises the proven floor), so it is
+                                # skipped outright.
+                                pred = ((v * v + float(drw_cum[e_idx]))
+                                        + np.cumsum(chg_np))
+                                pred -= drw_cum[e_idx + 1:e_idx + 1 + B]
+                                trig = (pred[:B - 1] <= warn_sq) \
+                                    & snap_cand_np[e_idx + 1:e_idx + B]
+                                am = int(trig.argmax())
+                                if trig[am]:
+                                    B = am + 1
+                                    if k0 > B:
+                                        k0 = B
+                            # Only the per-event charge is walked; clocks
+                            # and harvests are read at break points alone,
+                            # so they stay arrays (no bulk export).
+                            chg_l = chg_np[:B].tolist()
+                            clocks_l = clocks_np
+                            h_l = h_np
+                        else:
+                            # Short stretch (snapshot storms fragment the
+                            # span): the numpy call overhead outweighs the
+                            # batch — compute the same sequential adds and
+                            # per-element products in scalar form.
+                            k0 = 0
+                            clocks_l = [clock]
+                            h_l = []
+                            chg_l = []
+                            cc = clock
+                            for kk in range(B):
+                                d = ev_dt_l[e_idx + kk]
+                                if const_power is not None:
+                                    hv = (const_power * d) * eff
+                                else:
+                                    hv = trace_energy(cc, d) * eff
+                                h_l.append(hv)
+                                chg_l.append((2.0 * hv) / cap_f)
+                                cc = cc + d
+                                clocks_l.append(cc)
+                        tot_s = ev_total_l[e_idx:e_idx + B]
+                        drw_s = drw_l[e_idx:e_idx + B]
+                        dto_s = ev_durable_l[e_idx:e_idx + B]
+                        # Trigger-free prefix walk (proof above): charge,
+                        # discharge, durable advance — no brown-out /
+                        # clamp / warning tests.  When a prefix ends the
+                        # proof is re-run from the *live* voltage (the
+                        # zero-harvest floor ignores the charge the walk
+                        # actually banked), which usually extends the
+                        # test-free region across most of the batch; the
+                        # re-proof is one ``searchsorted`` against the
+                        # cached drain prefix table.
+                        p0 = k0
+                        while k0:
+                            for chg_k, dr, dto in zip(
+                                chg_l[p0 - k0:p0],
+                                drw_s[p0 - k0:p0],
+                                dto_s[p0 - k0:p0],
+                            ):
+                                if chg_k != 0.0:
+                                    root = _sqrt(v ** 2 + chg_k)
+                                    v = root if root < v_max else v_max
+                                v = _sqrt(v ** 2 - dr)
+                                if dto >= 0:
+                                    durable_atom, durable_it = dto, 0
+                            if p0 >= B:
+                                break
+                            lim = v * v - v_off_sq_safe
+                            if snapshot_on:
+                                lim_w = v * v - warn_sq - 1e-9
+                                if lim_w < lim:
+                                    lim = lim_w
+                            k0 = 0
+                            if lim > 0.0:
+                                k0 = int(drw_cum.searchsorted(
+                                    float(drw_cum[e_idx + p0]) + lim)) \
+                                    - (e_idx + p0)
+                                if k0 > B - p0:
+                                    k0 = B - p0
+                                elif k0 < 8:
+                                    k0 = 0
+                            p0 += k0
+                        if p0 >= B:
+                            walk = iter(())
+                        elif p0:
+                            walk = enumerate(
+                                zip(chg_l[p0:], tot_s[p0:], drw_s[p0:],
+                                    dto_s[p0:]),
+                                p0,
+                            )
+                        else:
+                            walk = enumerate(zip(chg_l, tot_s, drw_s, dto_s))
+                        for k, (chg_k, tot, dr, dto) in walk:
+                            if v <= sv_warn and durable_atom < ev_snap_l[
+                                    e_idx + k]:
+                                # A snapshot candidate turned low
+                                # mid-batch: its checkpoint draw would
+                                # shift every later event clock, so
+                                # rewind to this event and let the peek
+                                # above take over (same state, same
+                                # verdict) on the scalar path.
+                                jj = e_idx + k
+                                flush(e_flush, jj)
+                                clock = float(clocks_l[k])
+                                e_idx = jj
+                                e_flush = jj
+                                break
+                            if chg_k != 0.0:
+                                # chg == 0.0 leaves v bit-unchanged (the
+                                # sqrt/square round trip is exact).
+                                pv = v
+                                new_sq = v ** 2 + chg_k
+                                root = _sqrt(new_sq)
+                                v = root if root < v_max else v_max
+                            vsq = v ** 2
+                            # No ``usable < 0`` clamp: ``v >= v_off`` is a
+                            # loop invariant and squaring and rounding are
+                            # both monotone, so ``vsq >= v_off_sq`` — the
+                            # clamp would compare ``-0.0 < 0.0`` at worst,
+                            # which is already false.
+                            usable = half_c * (vsq - v_off_sq)
+                            if tot > usable:
+                                jj = e_idx + k
+                                # Brown-out bracketed at this event: flush
+                                # the clean prefix, book the scaled partial
+                                # draw, and record the reference's cursor.
+                                flush(e_flush, jj)
+                                # Pre-charge voltage: ``pv`` is only
+                                # captured when a charge step ran; with a
+                                # zero charge v is already pre-charge.
+                                if chg_k == 0.0:
+                                    pv = v
+                                clock = float(clocks_l[k + 1])
+                                v = v_off
+                                failures += 1
+                                avail = half_c * (pv ** 2 - v_off_sq)
+                                if avail < 0.0:
+                                    avail = 0.0
+                                spent = avail + float(h_l[k])
+                                if tot < spent:
+                                    spent = tot
+                                scale = spent / tot if tot > 0 else 0.0
+                                for compo, t, e, purpose in ev_bookings_l[jj]:
+                                    t = t * scale
+                                    e = e * scale
+                                    e_by[compo] = e_get(compo, 0.0) + e
+                                    t_by[compo] = t_get(compo, 0.0) + t
+                                    p_by[purpose] = p_get(purpose, 0.0) + e
+                                if ev_exec_l[jj]:
+                                    cursor_atom, cursor_it = ev_atom_l[jj], 0
+                                else:
+                                    cursor_atom, cursor_it = ev_atom_l[jj] + 1, 0
+                                browned = True
+                                break
+                            new_sq = vsq - dr
+                            if new_sq < v_off_sq:
+                                new_sq = v_off_sq
+                            v = _sqrt(new_sq)
+                            if dto >= 0:
+                                durable_atom, durable_it = dto, 0
+                        else:
+                            clock = float(clocks_l[B])
+                            e_idx += B
+                    if browned:
+                        break
+                    flush(e_flush, e_end)
+                    cursor_atom = span_end_l[ca]
+                    cursor_it = 0
+                    continue
+
+                # === divisible atom: live-voltage chunking stays scalar ===
+                if snapshot_on and (
+                    durable_atom < ca
+                    or (durable_atom == ca and durable_it < cursor_it)
+                ):
+                    low = v <= v_warn
+                    if low:
+                        mon_warnings += 1
+                        if cursor_it > 0:
+                            ct, ce, cf = _commit_cost(C.FLEX_COMMIT_WORDS)
+                            ck_cpu = ce - cf
+                            ck_bk = [("cpu", ct, ck_cpu, "checkpoint"),
+                                     ("fram", 0.0, cf, "checkpoint")]
+                            ck_t, ck_tot = ct, ck_cpu + cf
+                        else:
+                            ck_bk, ck_t, ck_tot = ck_draw_l[ca]
+                        if not draw(ck_bk, ck_t, ck_tot):
+                            browned = True
+                            break
+                        durable_atom, durable_it = ca, cursor_it
+
+                # === _run_divisible ===
+                iters = iterations_l[ca]
+                per_iter = per_iter_l[ca]
+                e_iter = e_iter_l[ca]
+                e_iter_floor = e_iter if e_iter > 1e-18 else 1e-18
+                a_cycles = cycles_l[ca]
+                a_power = power_l[ca]
+                a_purpose = purpose_l[ca]
+                a_comp = component_l[ca]
+                a_mem = mem_unit_l[ca]
+                a_fram = fram_unit_l[ca]
+                a_sram = sram_count_l[ca]
+                committing = commit_flag_l[ca]
+                div_exec = 0.0
+                chunk_failed = False
+                while cursor_it < iters:
+                    remaining = iters - cursor_it
+                    usable_now = half_c * (v ** 2 - v_off_sq)
+                    if usable_now < 0.0:
+                        usable_now = 0.0
+                    chunk = int(usable_now / e_iter_floor)
+                    if chunk > remaining:
+                        chunk = remaining
+                    if chunk < 1:
+                        chunk = 1
+                    f = chunk * per_iter
+                    time_s = a_cycles * f * C.EFFECTIVE_CYCLE_S
+                    core_j = a_power * time_s
+                    energy_j = core_j + f * a_mem
+                    fram_j = f * a_fram
+                    sram_j = f * a_sram * C.SRAM_ACCESS_J
+                    core_booked = energy_j - fram_j - sram_j
+                    bookings = [(a_comp, time_s, core_booked, a_purpose)]
+                    total = core_booked
+                    if fram_j:
+                        bookings.append(("fram", 0.0, fram_j, a_purpose))
+                        total = total + fram_j
+                    if sram_j:
+                        bookings.append(("sram", 0.0, sram_j, a_purpose))
+                        total = total + sram_j
+                    if not draw(bookings, time_s, total):
+                        chunk_failed = True
+                        break
+                    div_exec += a_cycles * chunk * per_iter
+                    if committing:
+                        count = chunk
+                        tt = commit_time_l[ca] * count
+                        ce_b = commit_cpu_l[ca] * count
+                        cf_b = commit_fram_l[ca] * count
+                        if not draw(
+                            [("cpu", tt, ce_b, "checkpoint"),
+                             ("fram", 0.0, cf_b, "checkpoint")],
+                            tt,
+                            ce_b + cf_b,
+                        ):
+                            chunk_failed = True
+                            break
+                    cursor_it += chunk
+                    if committing and volatile_words_l[ca] == 0:
+                        durable_atom = ca
+                        durable_it = cursor_it
+                if chunk_failed:
+                    browned = True
+                    break
+                sub_exec += div_exec
+                cursor_atom = ca + 1
+                cursor_it = 0
+                if committing and volatile_words_l[ca] == 0:
+                    durable_atom, durable_it = cursor_atom, 0
+
+            if not browned:
+                executed_cycles = executed_cycles + sub_exec
+                completed = True
+                break
+
+            # === the reference's PowerFailureError handler ===
+            reboots += 1
+            device.on_power_failure()
+            if reboots >= self.max_reboots:
+                dnf_reason = f"exceeded max_reboots={self.max_reboots}"
+                break
+            if durable_atom == last_da and durable_it == last_di:
+                stall += 1
+                if stall >= self.stall_limit:
+                    dnf_reason = (
+                        f"no durable progress across {stall} power cycles"
+                    )
+                    break
+            else:
+                stall = 0
+            last_da, last_di = durable_atom, durable_it
+
+            # === supply.recharge(), inlined and step-batched ===
+            waited = 0.0
+            aborted = False
+            if mean_step_j > 0.0:
+                deficit = half_c * (v_on ** 2 - v ** 2)
+                rblock = int(deficit / mean_step_j) + 8
+                if rblock > 65536:
+                    rblock = 65536
+                elif rblock < 64:
+                    rblock = 64
+            else:
+                rblock = 512
+            while v < v_on:
+                B = rblock
+                to_timeout = int((timeout_s - waited) / step) + 2
+                if B > to_timeout:
+                    B = to_timeout
+                if rblock < 16384:
+                    rblock = rblock * 4
+                seg = np.empty(B + 1)
+                seg[0] = clock
+                seg[1:] = step
+                clocks_np = np.cumsum(seg)
+                seg[0] = waited
+                waiteds_np = np.cumsum(seg)
+                if const_power is not None:
+                    # The per-step charge is clock-independent: one scalar.
+                    hv = (const_power * step) * eff
+                    chg = (2.0 * hv) / cap_f
+                    chg_l = None
+                else:
+                    if step_fill is None or step_fill.size < B:
+                        step_fill = np.full(max(B, 4096), step)
+                    h_np = energy_batch(
+                        clocks_np[:B], step_fill[:B]
+                    ) * eff
+                    chg_np = (2.0 * h_np) / cap_f
+                    chg_l = chg_np.tolist()
+                    nz_np = np.nonzero(chg_np)[0]
+                    nz_l = nz_np.tolist()
+                stopped = False
+                if float(waiteds_np[B - 1]) < timeout_s:
+                    # No step in this block can cross the timeout: drop
+                    # the per-step check from the tight loop.  Clocks and
+                    # waits are only read at the exit step, so the arrays
+                    # are indexed directly instead of exported wholesale.
+                    if chg_l is None:
+                        for k in range(B):
+                            if v >= v_on:
+                                clock = float(clocks_np[k])
+                                waited = float(waiteds_np[k])
+                                stopped = True
+                                break
+                            new_sq = v ** 2 + chg
+                            root = _sqrt(new_sq)
+                            v = root if root < v_max else v_max
+                        else:
+                            clock = float(clocks_np[B])
+                            waited = float(waiteds_np[B])
+                    else:
+                        # v changes only at nonzero-charge steps (a zero
+                        # charge's sqrt/square round trip is bit-exact),
+                        # so walk the on-phase steps only.  The reference
+                        # loop would first observe v >= v_on at the step
+                        # *after* the one that crossed it.  With the
+                        # clamp provably dead (see ``no_clamp_recharge``)
+                        # the per-step compare drops out too.
+                        if no_clamp_recharge:
+                            # Test-free prefix: the clamp-free chain is
+                            # monotone and tracks the charge prefix sum to
+                            # a few ulps per step, so while
+                            # ``v**2 + cum_charge`` stays a relative
+                            # 1e-9 below ``v_on**2`` (orders of magnitude
+                            # above the accumulated drift) no step can
+                            # cross ``v_on`` — walk those without the
+                            # exit compare.
+                            kf = int(np.cumsum(chg_np).searchsorted(
+                                v_on * v_on * (1.0 - 1e-9) - v * v))
+                            pos = int(nz_np.searchsorted(kf)) if kf > 0 \
+                                else 0
+                            for k in nz_l[:pos]:
+                                v = _sqrt(v ** 2 + chg_l[k])
+                            for k in nz_l[pos:]:
+                                v = _sqrt(v ** 2 + chg_l[k])
+                                if v >= v_on:
+                                    k1 = k + 1
+                                    if k1 < B:
+                                        clock = float(clocks_np[k1])
+                                        waited = float(waiteds_np[k1])
+                                        stopped = True
+                                    else:
+                                        clock = float(clocks_np[B])
+                                        waited = float(waiteds_np[B])
+                                    break
+                            else:
+                                clock = float(clocks_np[B])
+                                waited = float(waiteds_np[B])
+                        else:
+                            for k in nz_l:
+                                new_sq = v ** 2 + chg_l[k]
+                                root = _sqrt(new_sq)
+                                v = root if root < v_max else v_max
+                                if v >= v_on:
+                                    k1 = k + 1
+                                    if k1 < B:
+                                        clock = float(clocks_np[k1])
+                                        waited = float(waiteds_np[k1])
+                                        stopped = True
+                                    else:
+                                        clock = float(clocks_np[B])
+                                        waited = float(waiteds_np[B])
+                                    break
+                            else:
+                                clock = float(clocks_np[B])
+                                waited = float(waiteds_np[B])
+                else:
+                    clocks_l = clocks_np.tolist()
+                    waiteds_l = waiteds_np.tolist()
+                    for k in range(B):
+                        if v >= v_on:
+                            clock = clocks_l[k]
+                            waited = waiteds_l[k]
+                            stopped = True
+                            break
+                        if waiteds_l[k] >= timeout_s:
+                            clock = clocks_l[k]
+                            aborted = True
+                            stopped = True
+                            break
+                        new_sq = v ** 2 + (chg if chg_l is None else chg_l[k])
+                        root = _sqrt(new_sq)
+                        v = root if root < v_max else v_max
+                    else:
+                        clock = clocks_l[B]
+                        waited = waiteds_l[B]
+                if stopped:
+                    break
+            if aborted:
+                dnf_reason = (
+                    f"supply delivered too little energy in "
+                    f"{timeout_s} s to reach v_on"
+                )
+                break
+            charge_time = charge_time + waited
+
+            restore = runtime.restore_words()
+            if restore:
+                vol = 0 if durable_it > 0 else volatile_prev_l[durable_atom]
+                words = restore + vol
+                rcycles = C.COMMIT_BASE_CYCLES + words * C.COMMIT_CYCLES_PER_WORD
+                rtime = rcycles * C.CYCLE_S
+                rcpu = C.CPU_ACTIVE_W * rtime
+                rfram = words * C.FRAM_READ_RAW_J
+                if not draw(
+                    [("cpu", rtime, rcpu, "checkpoint"),
+                     ("fram", 0.0, rfram, "checkpoint")],
+                    rtime,
+                    rcpu + rfram,
+                ):
+                    continue  # pathological: failed during restore
+            cursor_atom, cursor_it = durable_atom, durable_it
+
+        # === write back state and assemble the RunResult ===
+        cap.voltage = v
+        supply.clock_s = clock
+        supply.failures = failures
+        supply.charge_time_s = charge_time
+        if monitor is not None:
+            monitor.warnings = mon_warnings
+        for key, val in e_by.items():
+            meter.energy_j[key] = val
+        for key, val in t_by.items():
+            meter.time_s[key] = val
+        for key, val in p_by.items():
+            meter.purpose_energy_j[key] = val
+
+        diff_e = self._diff(start_e, e_by, [k for k in e_by if k not in start_e])
+        diff_t = self._diff(start_t, t_by, [k for k in t_by if k not in start_t])
+        diff_p = self._diff(start_p, p_by, [k for k in p_by if k not in start_p])
+
+        logits, pred, needs = self._finish_logits(x, completed, defer_logits)
+        active = sum(diff_t.values())
+        charge = charge_time - charge_start
+        wall = clock - clock_start
         result = RunResult(
             runtime=runtime.name,
             completed=completed,

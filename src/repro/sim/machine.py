@@ -82,6 +82,18 @@ class IntermittentMachine:
 
     # -- public API -----------------------------------------------------------
 
+    def warm(self) -> None:
+        """Validate the atom program ahead of the first run.
+
+        Engine-interface twin of :meth:`FastMachine.warm`: the per-run
+        memoized validation/total-cycles pass happens now, so a session's
+        first sample pays the same cost as the rest.
+        """
+        atoms = self.runtime.build_atoms()
+        if self._validated is None or self._validated[0] is not atoms:
+            validate_program(atoms)
+            self._validated = (atoms, total_cycles(atoms))
+
     def run_deferred(self, x: np.ndarray, *, defer_logits: bool = True):
         """Engine-interface twin of :meth:`FastMachine.run_deferred`.
 

@@ -127,6 +127,10 @@ class SensingSession:
         qmodel = getattr(runtime, "qmodel", None)
         if qmodel is not None:
             warm_quantized_model(qmodel)
+        # Same hoist on the simulation side: program compilation (fast
+        # engine) / atom validation (reference) happen now, not on the
+        # first sample.
+        self.machine.warm()
 
     def run(self, samples: np.ndarray) -> SessionStats:
         """Process ``samples`` sequentially; stops early after repeated

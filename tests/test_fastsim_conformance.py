@@ -579,3 +579,186 @@ class TestAnalyticEstimator:
             analytic_brownout_index(program, 1.0, -1)
         with pytest.raises(ConfigurationError):
             analytic_brownout_index(program, -1.0)
+
+
+# ---------------------------------------------------------------------------
+# Adversarial harvested battery: stressors aimed at the batched replay's
+# seams (storm routing, bracketing fallback, recharge walks, restores)
+# ---------------------------------------------------------------------------
+
+
+def square_supply(power_w=2.5e-3, cap_uf=20.0, period_s=0.05, duty=0.3,
+                  timeout_s=600.0, **cap_kw):
+    """The paper-testbed trace family, sized to force brown-outs."""
+    return EnergyHarvester(
+        SquareWaveTrace(power_w, period_s, duty),
+        Capacitor(cap_uf * 1e-6, **cap_kw),
+        charge_timeout_s=timeout_s,
+    )
+
+
+class TestAdversarialHarvested:
+    """Every scenario is differential — bit-identical RunResults, meter
+    dicts (values and key order), and supply/monitor end state via
+    ``run_pair`` — and each also asserts the adversarial condition it is
+    named for actually occurred, so a scheduling change in the fast
+    engine cannot quietly turn the test into a no-op."""
+
+    def test_brownout_mid_divisible_atom(self):
+        """A long loop atom on a small capacitor: brown-outs bracket
+        *inside* the atom, and resumption continues mid-iteration."""
+        atoms = [
+            cpu_atom(400, commit=True, label="head", layer=0),
+            cpu_atom(2_000_000, commit=True, divisible=True, iters=5000,
+                     label="loop", layer=1),
+            cpu_atom(400, commit=True, label="tail", layer=2),
+        ]
+        results = run_pair(
+            atoms, make_supply=lambda: square_supply(cap_uf=15.0),
+            max_reboots=500, context="mid-divisible")
+        assert results[0].completed
+        assert results[0].reboots > 0
+
+    def test_brownout_mid_atom_without_commit(self):
+        """Commits off: every brown-out lands mid-atom and the whole
+        program replays from the top (the bracketing fallback must book
+        the scaled partial draw of the interrupted atom identically)."""
+        atoms = [cpu_atom(30000, label=f"a{i}", layer=i) for i in range(10)]
+        results = run_pair(
+            atoms, make_supply=lambda: square_supply(cap_uf=33.0),
+            commit_enabled=False, stall_limit=8, max_reboots=300,
+            context="mid-atom-nocommit")
+        assert results[0].reboots > 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_restore_failure_during_replay_battery(self, seed):
+        """Randomized tiny-swing supplies: recharge stops barely above
+        v_off, so restores brown out repeatedly *during replay* before
+        the run terminates — both engines must walk the same doomed
+        restore sequence."""
+        rng = np.random.default_rng(400 + seed)
+
+        def tiny_swing():
+            # Swing barely above v_off: recharge stops at ~v_on and the
+            # restore draw alone browns the capacitor out again.
+            return EnergyHarvester(
+                ConstantTrace(2e-6),
+                Capacitor(0.1e-6, v_on=1.81, v_off=1.8, v_max=3.6),
+                charge_timeout_s=1.0,
+            )
+
+        atoms = [cpu_atom(int(rng.choice([30000, 50000, 80000])),
+                          commit=True, volatile=int(rng.choice([0, 64])),
+                          label=f"a{i}", layer=i)
+                 for i in range(int(rng.integers(3, 7)))]
+        results = run_pair(atoms, make_supply=tiny_swing, stall_limit=3,
+                           max_reboots=60, context=f"restore-replay-{seed}")
+        assert not results[0].completed
+        # The adversarial branch is really exercised: restore brown-outs
+        # mean supply failures outnumber counted reboots.
+        probe = tiny_swing()
+        machine = IntermittentMachine(
+            Device(supply=probe), ToyRuntime(list(atoms)), stall_limit=3,
+            max_reboots=60)
+        res = machine.run(np.zeros(2))
+        assert probe.failures > res.reboots
+
+    @pytest.mark.parametrize("end", ["loop", "hold", "dead"])
+    @pytest.mark.parametrize("name", ["rf-markov", "kinetic-walk"])
+    def test_corpus_end_policy_battery(self, name, end):
+        """Corpus recordings sliced short and re-ended under each policy:
+        the session laps the recording, holds its final power, or starves
+        — three different brown-out/recharge shapes per corpus family."""
+        # Slice the recording short so the clock laps it ("loop"), rides
+        # its final segment ("hold"), or outlives it ("dead").
+        base = CORPUS.get(name, seed=3).slice(0.0, 0.1) \
+            .scale_to_mean_power(2.5e-3)
+
+        def make_supply():
+            trace = EmpiricalTrace(base.times, base.powers, end=end)
+            return EnergyHarvester(trace, Capacitor(20e-6),
+                                   charge_timeout_s=0.5)
+
+        atoms = [cpu_atom(25000, commit=True, label=f"a{i}", layer=i)
+                 for i in range(10)]
+        results = run_pair(atoms, make_supply=make_supply, stall_limit=4,
+                           max_reboots=300, context=f"corpus-{name}-{end}")
+        if end == "dead":
+            assert not results[0].completed
+
+    def test_near_zero_capacitance_supply(self):
+        """Degenerate buffer: the swing holds almost no energy, so nothing
+        ever fits and the run stalls out — identically."""
+        def nano_cap():
+            return EnergyHarvester(
+                ConstantTrace(1e-3),
+                Capacitor(1e-9, v_on=3.5, v_off=1.8),
+                charge_timeout_s=1.0,
+            )
+
+        atoms = [cpu_atom(5000, commit=True, label=f"a{i}", layer=i)
+                 for i in range(3)]
+        results = run_pair(atoms, make_supply=nano_cap, stall_limit=3,
+                           max_reboots=40, context="nano-cap")
+        assert not results[0].completed
+
+    def test_always_brownout_supply(self):
+        """The supply recharges fine but every execution attempt browns
+        out immediately (atom cost exceeds the full swing)."""
+        atoms = [cpu_atom(4_000_000, commit=True, label="huge", layer=0)]
+        results = run_pair(
+            atoms, make_supply=lambda: square_supply(cap_uf=10.0),
+            stall_limit=3, max_reboots=40, context="always-brownout")
+        assert not results[0].completed
+        assert "no durable progress" in results[0].dnf_reason
+
+    def test_dead_supply_never_reaches_v_on(self):
+        """Zero harvest: the first recharge aborts on the charge timeout
+        (the recharge batching must observe the timeout step exactly)."""
+        def dead():
+            return EnergyHarvester(ConstantTrace(0.0), Capacitor(20e-6),
+                                   charge_timeout_s=0.05)
+
+        atoms = [cpu_atom(2_000_000, commit=True, divisible=True, iters=500)]
+        results = run_pair(atoms, make_supply=dead, context="dead-timeout")
+        assert not results[0].completed
+        assert "too little energy" in results[0].dnf_reason
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_snapshot_storm_battery(self, seed):
+        """Randomized FLEX-style programs with volatile chains and a high
+        warning level: long stretches run below v_warn, driving the storm
+        (scalar) routing and its hand-offs back to the batch path."""
+        rng = np.random.default_rng(700 + seed)
+        atoms = []
+        for i in range(int(rng.integers(6, 24))):
+            atoms.append(cpu_atom(
+                int(rng.choice([2000, 9000, 30000])),
+                commit=bool(rng.random() < 0.8),
+                volatile=int(rng.choice([0, 48, 96])),
+                label=f"s{i}", layer=i))
+        power_w = float(rng.choice([1.5e-3, 3e-3]))
+        cap_uf = float(rng.choice([15.0, 33.0]))
+        duty = float(rng.choice([0.3, 0.6]))
+        results = run_pair(
+            atoms,
+            make_supply=lambda: square_supply(
+                power_w=power_w, cap_uf=cap_uf, duty=duty),
+            snapshot_on_warning=True,
+            v_warn=float(rng.choice([2.4, 3.0, 3.4])),
+            stall_limit=6, max_reboots=400,
+            context=f"storm-{seed}")
+        assert results[0].reboots >= 0  # differential asserts did the work
+
+    def test_storm_session_carryover(self):
+        """Multi-run FLEX session on one supply/meter: the storm routing's
+        deferred bookings must survive the run boundary bit-exactly."""
+        atoms = []
+        for i in range(8):
+            atoms.append(cpu_atom(8000, commit=True, volatile=64,
+                                  label=f"c{i}", layer=i))
+            atoms.append(cpu_atom(8000, commit=True, volatile=0,
+                                  label=f"w{i}", layer=i))
+        run_pair(atoms, make_supply=lambda: square_supply(cap_uf=33.0),
+                 snapshot_on_warning=True, v_warn=3.0, n_runs=4,
+                 max_reboots=400, context="storm-carryover")

@@ -1,0 +1,182 @@
+"""Property tests pinning the segment-table exports to the scalar paths.
+
+The fast engine (``repro.sim.fastsim``) replaces the reference machine's
+per-draw scalar calls with batched tables:
+
+- per-segment *clock* tables built with ``np.cumsum`` over the event dts,
+- per-segment *harvested-charge* tables built with ``trace.energy_batch``,
+- deferred meter flushes built with ``np.add.accumulate``.
+
+Each substitution is only sound because it is *bitwise* equal to the
+scalar recurrence it replaces.  These tests pin every one of those
+identities per trace family, so a numpy upgrade or a trace refactor that
+silently breaks exactness fails here first — before it shows up as a
+conformance diff deep inside a harvested replay.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power import (
+    CORPUS,
+    ConstantTrace,
+    EmpiricalTrace,
+    SolarTrace,
+    SquareWaveTrace,
+    StochasticRFTrace,
+)
+
+# One representative per trace family (plus each empirical end policy —
+# they take different branches in the vectorized lookup).
+FAMILIES = {
+    "constant": lambda: ConstantTrace(2.5e-3),
+    "square": lambda: SquareWaveTrace(5e-3, 0.05, 0.3),
+    "square-full-duty": lambda: SquareWaveTrace(5e-3, 0.02, 1.0),
+    "solar": lambda: SolarTrace(5e-3, period_s=1.0),
+    "rf": lambda: StochasticRFTrace(1.5e-3, seed=11),
+    "empirical-loop": lambda: EmpiricalTrace(
+        [0.0, 0.004, 0.01, 0.02], [6e-3, 0.0, 2.5e-3], end="loop"),
+    "empirical-hold": lambda: EmpiricalTrace(
+        [0.0, 0.004, 0.01, 0.02], [6e-3, 0.0, 2.5e-3], end="hold"),
+    "empirical-dead": lambda: EmpiricalTrace(
+        [0.0, 0.004, 0.01, 0.02], [6e-3, 0.0, 2.5e-3], end="dead"),
+    "corpus": lambda: CORPUS.get("rf-markov", seed=5),
+}
+
+
+def random_windows(rng, n=200):
+    """Starts/dts shaped like the replay's: atom draws (us..ms), recharge
+    steps (1 ms), zero-length windows, and period-straddling spans."""
+    starts = rng.uniform(0.0, 2.0, n)
+    dts = rng.choice(
+        [0.0, 1e-6, 3.7e-5, 1e-3, 2.3e-3, 0.049, 0.31], n)
+    return starts, dts
+
+
+class TestEnergyBatchPinsScalar:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_elementwise_bitwise_equal(self, family, seed):
+        trace = FAMILIES[family]()
+        rng = np.random.default_rng(10 * seed + 3)
+        starts, dts = random_windows(rng)
+        batch = trace.energy_batch(starts, dts)
+        assert batch.shape == starts.shape
+        for i, (t, d) in enumerate(zip(starts, dts)):
+            scalar = trace.energy(float(t), float(d))
+            assert batch[i] == scalar, (
+                f"{family}[{i}]: energy_batch={batch[i]!r} != "
+                f"energy={scalar!r} at (t={t!r}, dt={d!r})")
+
+    def test_square_many_period_window_falls_back_exactly(self):
+        # > 64 period crossings takes the scalar-loop fallback branch;
+        # the result must still be the scalar value, bit for bit.
+        trace = SquareWaveTrace(5e-3, 0.01, 0.4)
+        starts = np.array([0.0, 0.0037, 12.5])
+        dts = np.array([3.0, 1.11, 0.77])
+        batch = trace.energy_batch(starts, dts)
+        for i in range(starts.size):
+            assert batch[i] == trace.energy(float(starts[i]), float(dts[i]))
+
+    @pytest.mark.parametrize("family", ["constant", "square", "corpus"])
+    def test_scalar_dt_broadcasts(self, family):
+        trace = FAMILIES[family]()
+        starts = np.linspace(0.0, 1.0, 37)
+        batch = trace.energy_batch(starts, 1e-3)
+        assert batch.shape == starts.shape
+        for i, t in enumerate(starts):
+            assert batch[i] == trace.energy(float(t), 1e-3)
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_empty_and_negative_windows(self, family):
+        trace = FAMILIES[family]()
+        assert trace.energy_batch(np.zeros(0), np.zeros(0)).shape == (0,)
+        with pytest.raises(ConfigurationError):
+            trace.energy_batch(np.array([0.1]), np.array([-1e-9]))
+
+    def test_square_trusted_twin_matches_checked_entry(self):
+        """``energy_batch_trusted`` is the replay's entry point; it must
+        be the same function minus validation, never a fork."""
+        trace = SquareWaveTrace(5e-3, 0.05, 0.3)
+        rng = np.random.default_rng(7)
+        starts, dts = random_windows(rng)
+        dts = np.asarray(dts, dtype=np.float64)
+        checked = trace.energy_batch(starts, dts)
+        trusted = trace.energy_batch_trusted(starts, dts)
+        assert np.array_equal(checked, trusted)
+        assert trace.energy_batch_trusted(np.zeros(0), np.zeros(0)).shape == (0,)
+
+
+class TestSegmentTableRecurrences:
+    """The exact identities the replay's tables stand on."""
+
+    def test_clock_cumsum_equals_sequential_adds(self):
+        # Segment clock table: cumsum([clock, dt0, dt1, ...]) must equal
+        # the reference's running ``clock = clock + dt`` bit for bit.
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            clock = float(rng.uniform(0.0, 600.0))
+            dts = rng.choice([1e-6, 3.7e-5, 1e-3, 0.05], 300)
+            seg = np.empty(dts.size + 1)
+            seg[0] = clock
+            seg[1:] = dts
+            table = np.cumsum(seg)
+            cc = clock
+            for k, d in enumerate(dts):
+                cc = cc + d
+                assert table[k + 1] == cc
+            # flush's accumulate is the same scan.
+            acc = seg.copy()
+            np.add.accumulate(acc, out=acc)
+            assert np.array_equal(acc, table)
+
+    def test_charge_table_equals_scalar_recurrence(self):
+        """End-to-end pin of the harvested-charge table: batched clocks +
+        ``energy_batch`` + the vectorized charge expression reproduce the
+        reference's per-draw scalar chain exactly."""
+        trace = SquareWaveTrace(5e-3, 0.05, 0.3)
+        eff, cap_f = 0.8, 100e-6
+        rng = np.random.default_rng(5)
+        dts = rng.choice([1e-6, 2.1e-4, 1e-3], 400)
+        clock = 0.0137
+        seg = np.empty(dts.size + 1)
+        seg[0] = clock
+        seg[1:] = dts
+        clocks = np.cumsum(seg)
+        h = trace.energy_batch_trusted(clocks[:-1], np.asarray(dts)) * eff
+        chg = (2.0 * h) / cap_f
+        cc = clock
+        for k, d in enumerate(dts):
+            hv = trace.energy(cc, float(d)) * eff
+            assert h[k] == hv
+            assert chg[k] == (2.0 * hv) / cap_f
+            cc = cc + float(d)
+
+    def test_sqrt_square_roundtrip_allows_zero_charge_skip(self):
+        """The replay skips zero-charge steps outright because
+        ``sqrt(fl(v^2)) == v`` for positive normal doubles (the relative
+        error of the square is <= 2^-53, halved by the square root —
+        under a quarter ulp, so the rounding returns ``v`` exactly)."""
+        rng = np.random.default_rng(9)
+        vs = np.concatenate([
+            rng.uniform(1.8, 3.6, 20000),   # the capacitor's real range
+            np.exp(rng.uniform(np.log(1e-3), np.log(1e3), 20000)),
+        ])
+        for v in vs:
+            v = float(v)
+            assert math.sqrt(v ** 2 + 0.0) == v
+        # numpy and libm agree on the replay's exact expression shape.
+        sq = np.asarray(vs) ** 2
+        assert np.array_equal(np.sqrt(sq), vs)
+
+    def test_zero_harvest_contributions_are_exact(self):
+        """Masked-out period overlaps contribute ``d * False`` — a signed
+        zero — which the accumulating add must erase on a non-negative
+        running sum (the identity SquareWaveTrace.energy_batch leans on)."""
+        for x in (0.0, 1e-300, 3.7, 1e300):
+            assert x + 0.0 == x
+            assert x + (-0.0) == x
+        assert (0.0 + (-0.0)) == 0.0 and math.copysign(1.0, 0.0 + (-0.0)) > 0
