@@ -6,6 +6,7 @@ The CLI is a thin face over the study registry
     python -m repro list
     python -m repro run <study> [--engine reference|fast] [--workers N]
                                 [--serial] [--json OUT] [--npz OUT]
+                                [--out DIR] [--resume] [--shard-rows N]
                                 [--task ...] [--seed N] [--full]
                                 [--samples K] [--corpus [NAME ...]]
 
@@ -37,7 +38,10 @@ import sys
 from typing import List, Optional
 
 from repro import __version__
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
+
+#: Hook for fault-injection tests: the opener artifact sinks go through.
+_open_artifact = open
 
 #: The classic per-axis sweep subcommand, mapped onto the sweep studies.
 _SWEEP_STUDIES = {
@@ -63,7 +67,7 @@ def _profile_from_args(args) -> "Profile":
     )
 
 
-def _execute(name: str, args) -> "StudyRun":
+def _execute(name: str, args, *, store=None, on_error: str = "raise") -> "StudyRun":
     from repro.study import run_study
 
     return run_study(
@@ -72,6 +76,8 @@ def _execute(name: str, args) -> "StudyRun":
         workers=getattr(args, "workers", None),
         parallel=not getattr(args, "serial", False),
         profile=_profile_from_args(args),
+        store=store,
+        on_error=on_error,
     )
 
 
@@ -98,29 +104,114 @@ def _cmd_list(args) -> None:
     ))
 
 
+class _ArtifactSink:
+    """Atomic artifact writer: ``<path>.tmp`` now, ``os.replace`` at commit.
+
+    Opening the sibling temp file up front keeps the fail-fast bad-path
+    check (an unwritable destination fails in milliseconds, before any
+    simulation) — but the *destination* is only ever touched by the
+    atomic rename in :meth:`commit`, after the payload is fully written
+    and fsynced.  A run that fails, or a write that dies mid-stream
+    (disk full), discards the temp file and leaves whatever artifact a
+    previous run produced exactly as it was.
+    """
+
+    def __init__(self, path: str, mode: str, write) -> None:
+        self.path = path
+        self.tmp = path + ".tmp"
+        self.write = write
+        self.fh = _open_artifact(self.tmp, mode)
+
+    def commit(self, table) -> None:
+        try:
+            with self.fh:
+                self.write(self.fh, table)
+                self.fh.flush()
+                os.fsync(self.fh.fileno())
+        except BaseException:
+            self.discard()
+            raise
+        os.replace(self.tmp, self.path)
+
+    def discard(self) -> None:
+        try:
+            self.fh.close()
+        finally:
+            try:
+                os.unlink(self.tmp)
+            except OSError:
+                pass
+
+
+def _open_store(args) -> "Optional[ResultStore]":
+    """Build the durable store for ``repro run`` from its flags."""
+    from repro.store import MANIFEST_NAME
+
+    if args.resume and not args.out:
+        raise ConfigurationError(
+            "--resume needs --out DIR (there is no store to resume without "
+            "one)")
+    if args.shard_rows is not None and not args.out:
+        raise ConfigurationError(
+            "--shard-rows needs --out DIR (it sizes the store's shards)")
+    if not args.out:
+        return None
+    if args.shard_rows is not None and args.shard_rows < 1:
+        raise ConfigurationError("--shard-rows must be >= 1")
+    exists = os.path.isfile(os.path.join(args.out, MANIFEST_NAME))
+    if exists and not args.resume:
+        raise ConfigurationError(
+            f"store {args.out!r} already holds results; pass --resume to "
+            "reuse them (missing cells are re-simulated, finished ones are "
+            "replayed bit-identically) or point --out at a fresh directory")
+    from repro.store import ResultStore
+
+    if args.shard_rows is None:
+        return ResultStore(args.out)
+    return ResultStore(args.out, shard_rows=args.shard_rows)
+
+
 def _cmd_run(args) -> None:
-    # Open output files *before* running: a bad path must fail in
-    # milliseconds, not after minutes of simulation.
-    sinks = []  # (path, open handle, writer)
+    from repro.study import get_study
+
+    store = _open_store(args)
+    # Open temp files *before* running: a bad path must fail in
+    # milliseconds, not after minutes of simulation.  The destination
+    # paths themselves are untouched until the run succeeds (see
+    # _ArtifactSink) — a failed re-run never destroys a good artifact.
+    sinks = []
     try:
         if args.json:
-            sinks.append((args.json, open(args.json, "w"),
-                          lambda fh, t: fh.write(t.to_json(indent=2))))
+            sinks.append(_ArtifactSink(
+                args.json, "w",
+                lambda fh, t: fh.write(t.to_json(indent=2))))
         if args.npz:
             # np.savez accepts an open binary handle.
-            sinks.append((args.npz, open(args.npz, "wb"),
-                          lambda fh, t: t.to_npz(fh)))
-        run = _execute(args.study, args)
+            sinks.append(_ArtifactSink(
+                args.npz, "wb", lambda fh, t: t.to_npz(fh)))
+        # With a durable store, one broken scenario becomes an error row
+        # (already-finished cells are on disk; aborting would help no
+        # one); without one, failures stop the run as before.
+        on_error = ("record"
+                    if store is not None
+                    and get_study(args.study).fleet_executed
+                    else "raise")
+        run = _execute(args.study, args, store=store, on_error=on_error)
     except BaseException:
-        for path, fh, _ in sinks:
-            fh.close()
-            os.unlink(path)  # don't leave empty artifacts behind
+        for sink in sinks:
+            sink.discard()
         raise
     print(run.render())
-    for path, fh, write in sinks:
-        with fh:
-            write(fh, run.table)
-        print(f"wrote {path}: {run.table!r}", file=sys.stderr)
+    for sink in sinks:
+        sink.commit(run.table)
+        print(f"wrote {sink.path}: {run.table!r}", file=sys.stderr)
+    if store is not None:
+        print(store.summary(), file=sys.stderr)
+        if run.report is not None and run.report.failures:
+            print(
+                f"repro: warning: {run.report.failures} scenario(s) FAILED "
+                "(recorded as error rows; re-run with --resume to retry "
+                "them)", file=sys.stderr)
 
 
 # -- classic aliases ----------------------------------------------------------
@@ -247,6 +338,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also write the ResultTable as lossless JSON")
     pr.add_argument("--npz", metavar="OUT",
                     help="also write the ResultTable as lossless NPZ")
+    pr.add_argument("--out", metavar="DIR",
+                    help="durable result store: stream scenario results to "
+                         "DIR as they finish; finished tables are archived "
+                         "there too")
+    pr.add_argument("--resume", action="store_true",
+                    help="reuse an existing --out store: replay finished "
+                         "cells bit-identically, simulate only missing ones")
+    pr.add_argument("--shard-rows", type=int, default=None, metavar="N",
+                    help="rows per store shard (with --out; default 256)")
     pr.add_argument("--task", choices=("mnist", "har", "okg"), nargs="+",
                     help="tasks to run (default: the study's own)")
     pr.add_argument("--seed", type=int, default=0, help="study seed")
@@ -330,7 +430,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         _COMMANDS[args.command](args)
-    except (ConfigurationError, OSError) as exc:
+    except (ReproError, OSError) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 1
     return 0

@@ -50,3 +50,20 @@ class InferenceAborted(ReproError):
 
 class CheckpointError(ReproError):
     """Checkpoint data in FRAM was missing or inconsistent on restore."""
+
+
+class ScenarioExecutionError(ReproError):
+    """A fleet scenario raised during execution.
+
+    Wraps whatever escaped the worker so the failure names the scenario
+    that produced it (a bare worker traceback out of a thousand-cell grid
+    is undebuggable).  Raised by :class:`repro.fleet.runner.FleetRunner`
+    in ``on_error="raise"`` mode; in ``on_error="record"`` mode the same
+    information lands in :attr:`repro.fleet.report.ScenarioResult.error`
+    instead.
+    """
+
+    def __init__(self, scenario_name: str, error: str) -> None:
+        self.scenario_name = scenario_name
+        self.error = error
+        super().__init__(f"scenario {scenario_name!r} failed: {error}")

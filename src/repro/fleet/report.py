@@ -31,12 +31,18 @@ class ScenarioResult:
     ``overflow_events`` is the scenario-scoped saturation count from the
     (shared) quantized model's overflow monitor — read it from here, not
     from the cached model, whose monitor is reset per scenario.
+
+    ``error`` is non-empty when the scenario's execution *raised* instead
+    of finishing: the runner records a DNF-style failure row (empty
+    stats, no labels) carrying the exception summary, so one broken cell
+    is data in the report rather than the death of the whole fleet.
     """
 
     scenario: Scenario
     stats: SessionStats
     labels: Tuple[int, ...] = ()
     overflow_events: int = 0
+    error: str = ""
 
     @property
     def accuracy(self) -> float:
@@ -96,15 +102,29 @@ class RuntimeAggregate:
 
 @dataclass
 class FleetReport:
-    """All results of one fleet run plus execution metadata."""
+    """All results of one fleet run plus execution metadata.
+
+    ``unique_models`` counts distinct :attr:`Scenario.model_key` values
+    across the *specs* (not the models actually prepared), so the count —
+    and the table meta derived from it — is identical whether results
+    came from simulation or from a durable-store cache hit.
+    ``from_cache`` says how many of :attr:`results` were replayed from a
+    :class:`~repro.store.cache.ResultStore` instead of simulated.
+    """
 
     results: List[ScenarioResult]
     workers: int = 1
     wall_s: float = 0.0
     unique_models: int = 0
+    from_cache: int = 0
 
     def __len__(self) -> int:
         return len(self.results)
+
+    @property
+    def failures(self) -> int:
+        """Scenarios that raised (recorded as error rows, see runner)."""
+        return sum(1 for r in self.results if r.error)
 
     def by_runtime(self) -> Dict[str, List[ScenarioResult]]:
         """Results grouped by runtime, in first-seen order."""
@@ -154,6 +174,7 @@ class FleetReport:
         ("reboots", "int"),
         ("accuracy", "float"),
         ("overflow_events", "int"),
+        ("error", "str"),
     )
 
     def scenario_table(self) -> "ResultTable":
@@ -183,6 +204,7 @@ class FleetReport:
                 reboots=s.total_reboots,
                 accuracy=r.accuracy,
                 overflow_events=r.overflow_events,
+                error=r.error,
             )
         return table
 
@@ -233,6 +255,10 @@ class FleetReport:
             f"{self.unique_models} unique models, "
             f"{self.workers} worker(s), {self.wall_s:.2f} s"
         )
+        if self.from_cache:
+            title += f", {self.from_cache} from cache"
+        if self.failures:
+            title += f", {self.failures} FAILED"
         parts = [render_runtime_table(self.runtime_table(scenarios), title=title)]
         if per_scenario:
             parts.append(render_scenario_table(scenarios))
@@ -280,7 +306,7 @@ def render_scenario_table(scenarios: "ResultTable",
         [
             (
                 r["scenario"],
-                f"{r['completed']}/{r['inferences']}",
+                "ERROR" if r["error"] else f"{r['completed']}/{r['inferences']}",
                 f"{r['throughput_hz']:.2f}",
                 f"{r['energy_mj']:.2f}",
                 f"{r['reboots']}",

@@ -13,10 +13,23 @@ instance, and sample stream — so a fleet is embarrassingly parallel.
    function the serial path uses — so parallel results are bit-identical
    to serial results for the same specs.
 
+Execution is *streaming*: results come back through ``imap_unordered``
+and are committed one at a time — to a durable
+:class:`~repro.store.cache.ResultStore` when one is attached — then
+reassembled into input order at the end.  A scenario that raises is
+captured in its worker and returned as a DNF-style failure record
+carrying the scenario name; ``on_error="record"`` keeps the fleet
+running with the failure as an error row, ``on_error="raise"`` (the
+default) stops at the first failure with a
+:class:`~repro.errors.ScenarioExecutionError` — but either way the
+results committed before it are already safe in the store.
+
 Determinism holds because every source of randomness is seeded from the
 scenario itself (dataset stream from ``seed``, model from ``model_seed``,
 stochastic traces from ``trace.seed``) and the simulator is pure
 floating-point arithmetic with no wall-clock or cross-scenario coupling.
+That same determinism is what makes durable results *cacheable*: a
+result replayed from a store is bit-identical to re-simulating it.
 """
 
 from __future__ import annotations
@@ -24,14 +37,17 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+import traceback
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ScenarioExecutionError
 from repro.fleet.cache import ModelCache
 from repro.fleet.report import FleetReport, ScenarioResult
 from repro.fleet.scenario import Scenario
 from repro.rad.quantize import QuantizedModel
+
+#: Accepted failure policies (see :meth:`FleetRunner.run`).
+ON_ERROR = ("raise", "record")
 
 
 def execute_scenario(
@@ -79,6 +95,37 @@ def execute_scenario(
                           overflow_events=qmodel.monitor.total)
 
 
+def _failure_result(scenario: Scenario, exc: BaseException) -> ScenarioResult:
+    """A DNF-style error record for a scenario whose execution raised."""
+    from repro.sim.session import SessionStats
+
+    summary = "".join(
+        traceback.format_exception_only(type(exc), exc)
+    ).strip()
+    return ScenarioResult(
+        scenario=scenario,
+        stats=SessionStats(runtime=scenario.runtime, results=[]),
+        labels=(),
+        error=summary,
+    )
+
+
+def _execute_captured(
+    scenario: Scenario, qmodel: QuantizedModel, engine: str
+) -> ScenarioResult:
+    """``execute_scenario`` with exceptions folded into a failure record.
+
+    Only :class:`Exception` is captured — ``KeyboardInterrupt`` and
+    friends still abort the run.  The record (not a raised exception) is
+    what crosses the process boundary, so a broken cell never tears down
+    the pool mid-map, and the failure always names its scenario.
+    """
+    try:
+        return execute_scenario(scenario, qmodel, engine=engine)
+    except Exception as exc:
+        return _failure_result(scenario, exc)
+
+
 # -- worker-process plumbing --------------------------------------------------
 #
 # Pool workers receive the prepared models once (initializer) and look
@@ -95,9 +142,15 @@ def _init_worker(models: Dict[Tuple, QuantizedModel], engine: str = "reference")
     _WORKER_ENGINE = engine
 
 
-def _run_in_worker(scenario: Scenario) -> ScenarioResult:
-    return execute_scenario(
-        scenario, _WORKER_MODELS[scenario.model_key], engine=_WORKER_ENGINE
+def _run_in_worker(item: Tuple[int, Scenario]) -> Tuple[int, ScenarioResult]:
+    """Pool task: ``(input index, scenario) -> (input index, result)``.
+
+    The index rides along so the parent can reassemble ``imap_unordered``
+    output into input order without trusting arrival order.
+    """
+    index, scenario = item
+    return index, _execute_captured(
+        scenario, _WORKER_MODELS[scenario.model_key], _WORKER_ENGINE
     )
 
 
@@ -106,8 +159,9 @@ class FleetRunner:
 
     ``workers`` defaults to the CPUs available to this process; pass
     ``workers=1`` (or ``parallel=False``) for the serial fallback.  The
-    pool is only spun up when there are at least two scenarios and two
-    workers — otherwise serial execution is strictly cheaper.
+    pool is only spun up when there are at least two scenarios to
+    *simulate* and two workers — otherwise serial execution is strictly
+    cheaper.
     """
 
     def __init__(
@@ -142,46 +196,120 @@ class FleetRunner:
         """Resolve every distinct model once through the shared cache."""
         return {s.model_key: self.cache.get(s) for s in scenarios}
 
-    def run(self, scenarios: Sequence[Scenario]) -> FleetReport:
-        """Execute all scenarios and aggregate into a :class:`FleetReport`."""
+    def run(
+        self,
+        scenarios: Sequence[Scenario],
+        *,
+        store=None,
+        on_error: str = "raise",
+    ) -> FleetReport:
+        """Execute all scenarios and aggregate into a :class:`FleetReport`.
+
+        ``store`` (a :class:`~repro.store.cache.ResultStore`) makes the
+        run durable and resumable: scenarios whose content-addressed key
+        is already in the store are replayed from it bit-identically
+        (their models are never even prepared), and every freshly
+        simulated result is committed to the store as it finishes — a
+        killed run loses at most the store's unflushed tail.
+
+        ``on_error`` selects the failure policy: ``"raise"`` stops at the
+        first scenario whose execution raised (after committing the
+        results that finished before it), ``"record"`` turns each failure
+        into a DNF-style error row and keeps going.  Failures are never
+        written to the store, so a later run retries them.
+        """
         scenarios = list(scenarios)
         if not scenarios:
             raise ConfigurationError("no scenarios to run")
+        if on_error not in ON_ERROR:
+            raise ConfigurationError(
+                f"unknown on_error {on_error!r} (expected one of {ON_ERROR})"
+            )
         names = [s.name for s in scenarios]
         if len(set(names)) != len(names):
             raise ConfigurationError("scenario names must be unique")
         t0 = time.perf_counter()
-        models = self.prepare_models(scenarios)
-        use_pool = self.parallel and self.workers > 1 and len(scenarios) > 1
-        if use_pool:
-            results = self._run_parallel(scenarios, models)
+
+        cached: Dict[int, ScenarioResult] = {}
+        to_run: List[Tuple[int, Scenario]] = []
+        keys: List[Optional[str]] = [None] * len(scenarios)
+        if store is not None:
+            from repro.store.cache import scenario_key
+            from repro.store.records import decode_result
+
+            for i, scenario in enumerate(scenarios):
+                keys[i] = scenario_key(scenario, self.engine)
+                payload = store.lookup(keys[i])
+                if payload is None:
+                    to_run.append((i, scenario))
+                else:
+                    cached[i] = decode_result(scenario, payload)
         else:
-            results = [
-                execute_scenario(s, models[s.model_key], engine=self.engine)
-                for s in scenarios
-            ]
+            to_run = list(enumerate(scenarios))
+
+        models = self.prepare_models([s for _, s in to_run])
+        fresh: Dict[int, ScenarioResult] = {}
+
+        def commit(index: int, result: ScenarioResult) -> None:
+            fresh[index] = result
+            if result.error:
+                if on_error == "raise":
+                    raise ScenarioExecutionError(
+                        result.scenario.name, result.error
+                    )
+                return
+            if store is not None:
+                store.put(keys[index], result, engine=self.engine)
+
+        use_pool = self.parallel and self.workers > 1 and len(to_run) > 1
+        try:
+            if use_pool:
+                self._run_parallel(to_run, models, commit)
+            else:
+                for index, scenario in to_run:
+                    commit(index, _execute_captured(
+                        scenario, models[scenario.model_key], self.engine
+                    ))
+        finally:
+            # Whatever happens next, finished work is durable now.
+            if store is not None:
+                store.flush()
+
+        results = [
+            cached[i] if i in cached else fresh[i]
+            for i in range(len(scenarios))
+        ]
         wall_s = time.perf_counter() - t0
         return FleetReport(
             results=results,
             workers=self.workers if use_pool else 1,
             wall_s=wall_s,
-            unique_models=len(models),
+            unique_models=len({s.model_key for s in scenarios}),
+            from_cache=len(cached),
         )
 
     def _run_parallel(
         self,
-        scenarios: List[Scenario],
+        items: List[Tuple[int, Scenario]],
         models: Dict[Tuple, QuantizedModel],
-    ) -> List[ScenarioResult]:
+        commit: Callable[[int, ScenarioResult], None],
+    ) -> None:
         ctx = multiprocessing.get_context()
-        procs = min(self.workers, len(scenarios))
+        procs = min(self.workers, len(items))
         with ctx.Pool(
             procs, initializer=_init_worker, initargs=(models, self.engine)
         ) as pool:
             # chunksize=1: scenarios vary widely in cost (DNF-heavy cells
             # finish early, stall-heavy cells drag), so fine-grained
-            # dispatch balances the load.  map preserves input order.
-            return pool.map(_run_in_worker, scenarios, chunksize=1)
+            # dispatch balances the load.  imap_unordered streams results
+            # back as they finish — commit() runs (and the store grows) a
+            # scenario at a time, not after the whole map.  A commit that
+            # raises (on_error="raise") terminates the pool on exit from
+            # this block; already-committed results stay durable.
+            for index, result in pool.imap_unordered(
+                _run_in_worker, items, chunksize=1
+            ):
+                commit(index, result)
 
 
 def run_fleet(
@@ -190,6 +318,10 @@ def run_fleet(
     workers: Optional[int] = None,
     parallel: bool = True,
     engine: str = "reference",
+    store=None,
+    on_error: str = "raise",
 ) -> FleetReport:
     """One-call convenience wrapper around :class:`FleetRunner`."""
-    return FleetRunner(workers, parallel=parallel, engine=engine).run(scenarios)
+    return FleetRunner(workers, parallel=parallel, engine=engine).run(
+        scenarios, store=store, on_error=on_error
+    )

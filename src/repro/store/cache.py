@@ -1,0 +1,219 @@
+"""Content-addressed result caching over the sharded store.
+
+Keys follow the :mod:`repro.kernels.spectra` idiom — a BLAKE2b digest of
+*content*, not identity.  Here the content is the frozen simulation
+spec: the full :class:`~repro.fleet.scenario.Scenario` dataclass (trace
+spec included), the engine name, and the code version.  Two runs that
+would produce bit-identical results by the fleet determinism contract
+therefore share a key; anything that could change a single output bit —
+a different seed, capacitor, trace parameter, engine, or library
+release — changes the key and misses.
+
+:class:`ResultStore` is the durable root directory a study run writes
+into (``repro run <study> --out DIR``)::
+
+    <root>/
+      manifest.json, shards/     # ShardStore of scenario result records
+      tables/<key>.npz           # finished study tables, content-addressed
+
+Scenario records stream into shards *as scenarios finish*; finished
+study tables are published atomically at the end of a clean run.  Failed
+scenarios are recorded in reports but never cached — a failure must be
+retried on the next run, not replayed forever.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro import __version__
+from repro.errors import ConfigurationError
+from repro.fleet.report import ScenarioResult
+from repro.fleet.scenario import Scenario
+from repro.store.records import RECORD_FORMAT, encode_result
+from repro.store.shards import ShardStore
+from repro.study.table import ResultTable
+
+#: Schema of the scenario-result record shards.
+RESULT_COLUMNS = (
+    ("key", "str"),
+    ("scenario", "str"),
+    ("engine", "str"),
+    ("payload", "str"),
+)
+
+TABLE_DIR = "tables"
+
+
+def _digest(payload: object) -> str:
+    """BLAKE2b-128 hex over a canonical JSON encoding of ``payload``."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def scenario_key(
+    scenario: Scenario, engine: str, *, code_version: str = __version__
+) -> str:
+    """Content address of one scenario's result under one engine.
+
+    Pure function of the frozen spec: the same scenario yields the same
+    key in any process on any host, which is what lets a killed run's
+    shards be claimed by a fresh process.  Floats serialize via their
+    shortest round-trip ``repr``, so ulp-different specs get distinct
+    keys.  The scenario ``name`` is *excluded* — it is a display label,
+    not simulation input, so renaming a grid cell still hits.
+    """
+    spec = dataclasses.asdict(scenario)
+    spec.pop("name")
+    return _digest({
+        "kind": "scenario-result",
+        "format": RECORD_FORMAT,
+        "scenario": spec,
+        "engine": engine,
+        "code": code_version,
+    })
+
+
+def study_table_key(
+    study: str, profile, engine: str, *, code_version: str = __version__
+) -> str:
+    """Content address of a finished study table (any study shape)."""
+    return _digest({
+        "kind": "study-table",
+        "format": RECORD_FORMAT,
+        "study": study,
+        "profile": dataclasses.asdict(profile),
+        "engine": engine,
+        "code": code_version,
+    })
+
+
+class ResultStore:
+    """Durable scenario-result cache + finished-table archive at ``root``.
+
+    Opening is creation-or-resume: an existing store is verified
+    (torn-tail recovery included, see :class:`~repro.store.shards.
+    ShardStore`) and its committed records become the lookup index; a
+    fresh directory starts empty.  ``hits``/``misses`` count
+    :meth:`lookup` outcomes, ``table_hits``/``table_misses`` count
+    :meth:`load_table` outcomes — the observability the resume tests and
+    ``repro run --out`` reporting are built on.
+    """
+
+    def __init__(self, root, *, shard_rows: int = 256) -> None:
+        self.root = Path(root)
+        self._shards = ShardStore(
+            self.root,
+            RESULT_COLUMNS,
+            meta={"kind": "scenario-results"},
+            shard_rows=shard_rows,
+        )
+        self._index: Dict[str, str] = {}
+        for row in self._shards.iter_rows():
+            # Last write wins; identical keys hold identical payloads by
+            # construction (content addressing), so order is cosmetic.
+            self._index[row["key"]] = row["payload"]
+        self.hits = 0
+        self.misses = 0
+        self.table_hits = 0
+        self.table_misses = 0
+
+    # -- scenario records -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    @property
+    def recovered_shards(self):
+        """Shard names dropped by torn-tail recovery when opening."""
+        return tuple(self._shards.recovered)
+
+    def lookup(self, key: str) -> Optional[str]:
+        """The stored payload for ``key``, counting hit or miss."""
+        payload = self._index.get(key)
+        if payload is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return payload
+
+    def put(self, key: str, result: ScenarioResult, *, engine: str = "") -> None:
+        """Record one finished scenario (buffered; see :meth:`flush`).
+
+        Failed results are rejected — caching a failure would serve it as
+        a hit forever instead of retrying the scenario.  ``engine`` is
+        recorded alongside the payload for human inspection; the key
+        already encodes it.
+        """
+        if result.error:
+            raise ConfigurationError(
+                f"refusing to cache failed scenario {result.scenario.name!r}: "
+                f"{result.error}"
+            )
+        if key in self._index:
+            return
+        payload = encode_result(result)
+        self._shards.append(
+            key=key,
+            scenario=result.scenario.name,
+            engine=engine,
+            payload=payload,
+        )
+        self._index[key] = payload
+
+    def flush(self) -> None:
+        """Commit buffered records as a shard (durable after this call)."""
+        self._shards.flush()
+
+    # -- finished study tables ------------------------------------------------
+
+    def _table_path(self, key: str) -> Path:
+        return self.root / TABLE_DIR / f"{key}.npz"
+
+    def load_table(self, key: str) -> Optional[ResultTable]:
+        """The finished table stored under ``key``, or ``None``."""
+        path = self._table_path(key)
+        if not path.is_file():
+            self.table_misses += 1
+            return None
+        self.table_hits += 1
+        return ResultTable.from_npz(str(path))
+
+    def save_table(self, key: str, table: ResultTable) -> None:
+        """Atomically publish a finished study table under ``key``."""
+        path = self._table_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            table.to_npz(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    # -- reporting ------------------------------------------------------------
+
+    def summary(self) -> str:
+        parts = [
+            f"result store {self.root}: {len(self)} scenario results "
+            f"({self._shards.shards} shards)",
+            f"scenario cache {self.hits} hits / {self.misses} misses",
+            f"table cache {self.table_hits} hits / "
+            f"{self.table_misses} misses",
+        ]
+        if self.recovered_shards:
+            parts.append(
+                f"recovered from torn shard(s): "
+                f"{', '.join(self.recovered_shards)}"
+            )
+        return "; ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.root)!r}, {len(self)} results)"

@@ -1,0 +1,124 @@
+"""Lossless JSON codec for per-scenario results.
+
+The durable store persists whole :class:`~repro.fleet.report.
+ScenarioResult` records — not just the reduced fleet table row — because
+study collectors (Figure 7's energy breakdown, the checkpoint-overhead
+measurement) read per-inference detail out of
+:class:`~repro.sim.session.SessionStats`.  A resumed run must hand those
+collectors *exactly* what an uninterrupted run would have, so the codec
+is bit-exact:
+
+* floats travel through :mod:`json`, whose encoder emits Python's
+  shortest round-trip ``repr`` (NaN/Infinity literals included) — the
+  same guarantee :meth:`ResultTable.to_json` relies on;
+* logits arrays keep their dtype and shape and rebuild to
+  ``np.array_equal`` (and byte-equal) arrays;
+* field lists come from the dataclasses themselves, so a new
+  :class:`~repro.sim.results.RunResult` field is serialized the day it
+  is added — and a payload from a *different* field set fails decoding
+  loudly instead of resurrecting a half-populated record.
+
+The :class:`~repro.fleet.scenario.Scenario` itself is *not* embedded:
+the content-addressed key (:func:`repro.store.cache.scenario_key`) is a
+digest of the full spec, so the caller that computed the key already
+holds the identical live scenario and attaches it on decode.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fleet.report import ScenarioResult
+from repro.fleet.scenario import Scenario
+from repro.sim.results import RunResult
+from repro.sim.session import SessionStats
+
+#: Payload format version; also folded into cache keys so records written
+#: by an incompatible build are misses, not decode errors.
+RECORD_FORMAT = 1
+
+
+def _encode_array(arr: Optional[np.ndarray]):
+    if arr is None:
+        return None
+    return {
+        "dtype": arr.dtype.str,
+        "shape": list(arr.shape),
+        "data": arr.ravel().tolist(),
+    }
+
+
+def _decode_array(spec) -> Optional[np.ndarray]:
+    if spec is None:
+        return None
+    return np.array(spec["data"], dtype=np.dtype(spec["dtype"])).reshape(
+        spec["shape"]
+    )
+
+
+def _encode_run(run: RunResult) -> Dict:
+    out = {}
+    for field in dataclasses.fields(RunResult):
+        value = getattr(run, field.name)
+        if field.name == "logits":
+            value = _encode_array(value)
+        out[field.name] = value
+    return out
+
+
+def _decode_run(payload: Dict) -> RunResult:
+    expected = {f.name for f in dataclasses.fields(RunResult)}
+    if set(payload) != expected:
+        raise ConfigurationError(
+            f"stored RunResult fields {sorted(payload)} do not match this "
+            f"build's {sorted(expected)} — the record predates a schema "
+            "change; re-run without the stale store"
+        )
+    kwargs = dict(payload)
+    kwargs["logits"] = _decode_array(kwargs["logits"])
+    return RunResult(**kwargs)
+
+
+def encode_result(result: ScenarioResult) -> str:
+    """Serialize everything of a result except its scenario spec."""
+    return json.dumps({
+        "format": RECORD_FORMAT,
+        "runtime": result.stats.runtime,
+        "results": [_encode_run(r) for r in result.stats.results],
+        "labels": list(result.labels),
+        "overflow_events": result.overflow_events,
+        "error": result.error,
+    })
+
+
+def decode_result(scenario: Scenario, payload: str) -> ScenarioResult:
+    """Rebuild the :class:`ScenarioResult` a stored payload encodes.
+
+    ``scenario`` is the live spec whose content-addressed key located the
+    payload; the result is bit-identical to the one originally stored.
+    """
+    try:
+        data = json.loads(payload)
+    except ValueError as exc:
+        raise ConfigurationError(f"corrupt scenario-result payload: {exc}")
+    if data.get("format") != RECORD_FORMAT:
+        raise ConfigurationError(
+            f"scenario-result payload format {data.get('format')!r} != "
+            f"{RECORD_FORMAT}"
+        )
+    stats = SessionStats(
+        runtime=data["runtime"],
+        results=[_decode_run(r) for r in data["results"]],
+    )
+    return ScenarioResult(
+        scenario=scenario,
+        stats=stats,
+        labels=tuple(int(y) for y in data["labels"]),
+        overflow_events=int(data["overflow_events"]),
+        error=str(data.get("error", "")),
+    )

@@ -1,0 +1,263 @@
+"""Appendable, sharded on-disk :class:`~repro.study.table.ResultTable` store.
+
+A :class:`ShardStore` is a directory holding one JSON manifest plus a
+sequence of NPZ shards, each shard a committed chunk of rows of one
+declared schema::
+
+    <root>/
+      manifest.json            # schema + meta + ordered shard index
+      shards/
+        shard-000000.npz       # ResultTable.to_npz of the first chunk
+        shard-000001.npz
+        ...
+
+Design goals, in order:
+
+1. **Durability of finished work.**  Rows are buffered in memory and
+   committed a shard at a time (:meth:`ShardStore.flush`, automatic every
+   ``shard_rows`` appends).  Both the shard file and the manifest are
+   written to a ``.tmp`` sibling and published with :func:`os.replace`,
+   so a ``kill -9`` at any instant leaves the store in a state where
+   every *committed* shard is intact — at most the unflushed tail of the
+   pending buffer is lost.
+2. **Bit-identical round trips.**  Shards serialize through
+   :meth:`ResultTable.to_npz`, inheriting the PR 4 losslessness contract:
+   every cell (floats included) reads back exactly.
+3. **Self-verifying recovery.**  The manifest records each shard's row
+   count and a BLAKE2b digest of its bytes.  Opening the store verifies
+   every listed shard; a torn or missing *final* shard — the only shard a
+   crash can tear when something bypasses the atomic publish (a dying
+   disk, a copied-while-writing store) — is dropped from the manifest and
+   its rows are simply re-simulated on resume.  A torn shard anywhere
+   else means the store's history is gone, which is an error, not a
+   recovery.
+
+The store is generic over schemas: the fleet layer keeps scenario result
+records in one (:mod:`repro.store.cache`), and any study code can keep
+its own tables in another directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.study.table import ColumnLike, ResultTable
+
+#: On-disk manifest format (bump when the layout changes incompatibly).
+MANIFEST_FORMAT = 1
+
+MANIFEST_NAME = "manifest.json"
+SHARD_DIR = "shards"
+
+
+def _digest_file(path: Path) -> str:
+    """BLAKE2b-128 hex digest of a file's bytes."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Publish ``text`` at ``path`` via tmp + fsync + :func:`os.replace`."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+class ShardStore:
+    """An appendable sharded table at ``root`` (see module docstring).
+
+    ``columns`` declares the schema when creating a new store and, when
+    opening an existing one, is validated against the manifest (pass
+    ``None`` to accept whatever schema the store was created with —
+    opening a missing store without a schema is an error).  ``meta``
+    travels in the manifest and is returned verbatim on reopen.
+    """
+
+    def __init__(
+        self,
+        root,
+        columns: Optional[Sequence[ColumnLike]] = None,
+        *,
+        meta: Optional[Dict[str, str]] = None,
+        shard_rows: int = 256,
+    ) -> None:
+        if shard_rows < 1:
+            raise ConfigurationError("shard_rows must be >= 1")
+        self.root = Path(root)
+        self.shard_rows = shard_rows
+        self._shard_dir = self.root / SHARD_DIR
+        self._manifest_path = self.root / MANIFEST_NAME
+        #: Shard entries dropped by torn-tail recovery on open (names).
+        self.recovered: List[str] = []
+        self._shards: List[Dict] = []
+        if self._manifest_path.is_file():
+            self._open_existing(columns)
+        else:
+            if columns is None:
+                raise ConfigurationError(
+                    f"no store at {self.root} (missing {MANIFEST_NAME}); "
+                    "creating one needs a declared schema"
+                )
+            self._schema = tuple(ResultTable(columns).schema)
+            self.meta = dict(meta or {})
+            self._shard_dir.mkdir(parents=True, exist_ok=True)
+            self._write_manifest()
+        self._pending = self._new_table()
+
+    # -- manifest / recovery --------------------------------------------------
+
+    def _new_table(self) -> ResultTable:
+        return ResultTable(self._schema)
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "schema": [[c.name, c.dtype] for c in self._schema],
+            "meta": dict(self.meta),
+            "shards": list(self._shards),
+        }
+        _atomic_write_text(self._manifest_path, json.dumps(payload, indent=2))
+
+    def _open_existing(self, columns: Optional[Sequence[ColumnLike]]) -> None:
+        try:
+            payload = json.loads(self._manifest_path.read_text())
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"corrupt store manifest {self._manifest_path}: {exc}"
+            )
+        if payload.get("format") != MANIFEST_FORMAT:
+            raise ConfigurationError(
+                f"store {self.root} has manifest format "
+                f"{payload.get('format')!r}, this build reads "
+                f"{MANIFEST_FORMAT}"
+            )
+        self._schema = tuple(
+            ResultTable([(str(n), str(d)) for n, d in payload["schema"]]).schema
+        )
+        if columns is not None:
+            expected = tuple(ResultTable(columns).schema)
+            if expected != self._schema:
+                raise ConfigurationError(
+                    f"store {self.root} holds schema "
+                    f"{[(c.name, c.dtype) for c in self._schema]}, expected "
+                    f"{[(c.name, c.dtype) for c in expected]}"
+                )
+        self.meta = dict(payload.get("meta", {}))
+        entries = list(payload.get("shards", []))
+        kept: List[Dict] = []
+        for i, entry in enumerate(entries):
+            path = self._shard_dir / entry["name"]
+            intact = path.is_file() and _digest_file(path) == entry["blake2b"]
+            if intact:
+                kept.append(entry)
+                continue
+            if i == len(entries) - 1:
+                # Torn final shard: drop it from the manifest; its rows
+                # are re-simulated on resume.  Every earlier shard was
+                # verified above, so finished work before the tear is kept.
+                self.recovered.append(entry["name"])
+                path.unlink(missing_ok=True)
+            else:
+                raise ConfigurationError(
+                    f"store {self.root}: shard {entry['name']} is torn or "
+                    "missing but is not the final shard — the store's "
+                    "history is inconsistent"
+                )
+        self._shards = kept
+        self._sweep_tmp_files()
+        if self.recovered:
+            self._write_manifest()
+
+    def _sweep_tmp_files(self) -> None:
+        # Leftover .tmp files are unpublished writes from a killed
+        # process; the data they held was never committed.
+        self._shard_dir.mkdir(parents=True, exist_ok=True)
+        for stray in self._shard_dir.glob("*.tmp"):
+            stray.unlink(missing_ok=True)
+
+    # -- append / flush -------------------------------------------------------
+
+    @property
+    def schema(self):
+        return self._schema
+
+    @property
+    def committed_rows(self) -> int:
+        """Rows durable on disk (excludes the pending buffer)."""
+        return sum(e["rows"] for e in self._shards)
+
+    @property
+    def pending_rows(self) -> int:
+        return len(self._pending)
+
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    def append(self, **row: object) -> None:
+        """Buffer one row; auto-commits a shard every ``shard_rows``."""
+        self._pending.append(**row)
+        if len(self._pending) >= self.shard_rows:
+            self.flush()
+
+    def flush(self) -> None:
+        """Commit the pending buffer as one new shard (no-op when empty).
+
+        The shard is published before the manifest, so a crash between
+        the two leaves an orphan file the manifest never references —
+        recovery ignores it and the rows are re-simulated, never
+        double-counted.
+        """
+        if not len(self._pending):
+            return
+        name = f"shard-{len(self._shards):06d}.npz"
+        path = self._shard_dir / name
+        tmp = self._shard_dir / (name + ".tmp")
+        with open(tmp, "wb") as fh:
+            self._pending.to_npz(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        digest = _digest_file(tmp)
+        os.replace(tmp, path)
+        self._shards.append(
+            {"name": name, "rows": len(self._pending), "blake2b": digest}
+        )
+        self._write_manifest()
+        self._pending = self._new_table()
+
+    # -- reading --------------------------------------------------------------
+
+    def iter_rows(self) -> Iterator[Dict[str, object]]:
+        """Committed rows in commit order, one shard in memory at a time."""
+        for entry in self._shards:
+            shard = ResultTable.from_npz(str(self._shard_dir / entry["name"]))
+            if len(shard) != entry["rows"]:
+                raise ConfigurationError(
+                    f"store {self.root}: shard {entry['name']} holds "
+                    f"{len(shard)} rows, manifest says {entry['rows']}"
+                )
+            for row in shard:
+                yield row
+
+    def load_table(self) -> ResultTable:
+        """All committed rows merged into one in-memory table."""
+        table = self._new_table()
+        for row in self.iter_rows():
+            table.append(**row)
+        return table
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardStore({str(self.root)!r}, {self.shards} shards, "
+            f"{self.committed_rows} rows committed, "
+            f"{self.pending_rows} pending)"
+        )

@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fleet.cache import ModelCache
     from repro.fleet.report import FleetReport
     from repro.fleet.scenario import Scenario
+    from repro.store.cache import ResultStore
 
 
 @dataclass(frozen=True)
@@ -183,13 +184,17 @@ class StudyRun:
 
     ``report``/``cache`` are populated for fleet-executed studies only
     (the raw :class:`FleetReport` and the shared model cache, for callers
-    that want execution metadata beyond the table).
+    that want execution metadata beyond the table) — and both are
+    ``None`` when the whole finished table came out of the ``store``'s
+    table cache, because nothing was executed.  ``store`` echoes the
+    durable store the run used, with its hit/miss counters updated.
     """
 
     study: Study
     table: ResultTable
     report: Optional["FleetReport"] = None
     cache: Optional["ModelCache"] = None
+    store: Optional["ResultStore"] = None
 
     def render(self) -> str:
         return self.study.render(self.table)
@@ -202,6 +207,8 @@ def run_study(
     workers: Optional[int] = None,
     parallel: bool = True,
     profile: Optional[Profile] = None,
+    store: Optional["ResultStore"] = None,
+    on_error: str = "raise",
 ) -> StudyRun:
     """Execute a registered study and return its table (plus metadata).
 
@@ -213,12 +220,25 @@ def run_study(
     and for a given spec it is bit-identical across engines and worker
     counts (the fleet determinism contract).
 
+    ``store`` (a :class:`~repro.store.cache.ResultStore`) makes the run
+    durable and resumable.  A finished table whose content address
+    (study + profile + engine + code version) is already archived is
+    returned without executing anything; otherwise a fleet-executed
+    study streams per-scenario results through the store — replaying the
+    cells a previous (possibly killed) run already finished and
+    simulating only the missing ones — and the finished table is
+    archived afterwards, *unless* any scenario failed (a partial table
+    must never be served as the study's answer).  ``on_error`` is the
+    fleet failure policy (see :meth:`FleetRunner.run`); it requires a
+    fleet-executed study, since a direct study has no per-scenario
+    boundary to record failures at.
+
     An option the study cannot interpret is rejected, not dropped: a
     profile field outside :attr:`Study.params` must stay at its default,
-    ``workers``/``parallel`` only apply to fleet-executed studies, and a
-    non-reference ``engine`` needs an engine-aware study.  (Silently
-    ignoring ``--task har`` on a study that never reads tasks would
-    print results the caller believes are HAR's.)
+    ``workers``/``parallel``/``on_error`` only apply to fleet-executed
+    studies, and a non-reference ``engine`` needs an engine-aware study.
+    (Silently ignoring ``--task har`` on a study that never reads tasks
+    would print results the caller believes are HAR's.)
     """
     study = get_study(name)
     profile = profile if profile is not None else Profile()
@@ -227,6 +247,12 @@ def run_study(
     if engine not in ENGINES:
         raise ConfigurationError(
             f"unknown engine {engine!r} (expected one of {ENGINES})"
+        )
+    from repro.fleet.runner import ON_ERROR
+
+    if on_error not in ON_ERROR:
+        raise ConfigurationError(
+            f"unknown on_error {on_error!r} (expected one of {ON_ERROR})"
         )
     for field_name, default in _PROFILE_DEFAULTS.items():
         if field_name in study.params:
@@ -254,6 +280,20 @@ def run_study(
                 f"study {study.name!r} does not take an engine "
                 "(its computation never touches a simulation machine)"
             )
+        if on_error != "raise":
+            raise ConfigurationError(
+                f"study {study.name!r} is not fleet-executed; "
+                "on_error='record' would be silently ignored "
+                "(a direct study has no per-scenario failure boundary)"
+            )
+    table_key = None
+    if store is not None:
+        from repro.store.cache import study_table_key
+
+        table_key = study_table_key(study.name, profile, engine)
+        archived = store.load_table(table_key)
+        if archived is not None:
+            return StudyRun(study, archived, store=store)
     ctx = StudyContext(
         profile=profile,
         engine=engine,
@@ -264,10 +304,16 @@ def run_study(
         from repro.fleet.runner import FleetRunner
 
         runner = FleetRunner(workers, parallel=parallel, engine=engine)
-        report = runner.run(study.scenarios(ctx))
+        report = runner.run(study.scenarios(ctx), store=store,
+                            on_error=on_error)
         table = study.collect(report, ctx, runner.cache)
         table.meta.setdefault("study", study.name)
-        return StudyRun(study, table, report=report, cache=runner.cache)
+        if store is not None and report.failures == 0:
+            store.save_table(table_key, table)
+        return StudyRun(study, table, report=report, cache=runner.cache,
+                        store=store)
     table = study.run(ctx)
     table.meta.setdefault("study", study.name)
-    return StudyRun(study, table)
+    if store is not None:
+        store.save_table(table_key, table)
+    return StudyRun(study, table, store=store)

@@ -23,6 +23,20 @@ from repro.study.core import Study, StudyContext, register
 from repro.study.table import ResultTable
 
 
+def _first_result(res):
+    """The single per-inference record of a one-sample scenario, or ``None``.
+
+    ``None`` means the scenario *failed* (``res.error`` is set and its
+    stats are empty — see :class:`~repro.fleet.report.ScenarioResult`).
+    Collectors map that to a DNF-style row with ``completed=False`` and
+    zeroed measurements, so a study table keeps one row per scenario even
+    when a cell raised under ``on_error="record"``.
+    """
+    if res.stats.results:
+        return res.stats.results[0]
+    return None
+
+
 def _single_task(ctx: StudyContext, study_name: str) -> str:
     """The one task a single-task study runs on (default MNIST).
 
@@ -199,8 +213,16 @@ def _fig7_scenarios(ctx: StudyContext) -> List[Scenario]:
 def _fig7_collect(report, ctx: StudyContext, cache) -> ResultTable:
     table = ResultTable(_FIG7_COLUMNS)
     for res in report.results:
-        r = res.stats.results[0]
+        r = _first_result(res)
         task, regime, runtime = res.scenario.name.split("/")
+        if r is None:
+            table.append(
+                task=task, regime=regime, runtime=runtime, completed=False,
+                wall_ms=0.0, active_ms=0.0, energy_mj=0.0, checkpoint_mj=0.0,
+                reboots=0,
+                **{f"{c}_mj": 0.0 for c in _FIG7_COMPONENTS},
+            )
+            continue
         comp = r.energy_by_component
         table.append(
             task=task,
@@ -404,7 +426,14 @@ def _overhead_collect(report, ctx: StudyContext, cache) -> ResultTable:
         ("paper_overhead", "float"),
     ))
     for res in report.results:
-        r = res.stats.results[0]
+        r = _first_result(res)
+        if r is None:
+            table.append(
+                task=res.scenario.task, worst_ckpt_mj=0.0,
+                total_overhead=0.0, reboots=0, completed=False,
+                paper_overhead=PAPER_OVERHEAD.get(res.scenario.task, 0.0),
+            )
+            continue
         qmodel = cache.get(res.scenario)  # shared: resolved once by the runner
         table.append(
             task=res.scenario.task,
@@ -678,8 +707,12 @@ def _sweep_collect(report, ctx: StudyContext, cache) -> ResultTable:
     """Shared collector: scenario names are ``task/<axis>/<runtime>``."""
     table = ResultTable(_SWEEP_COLUMNS)
     for res in report.results:
-        r = res.stats.results[0]
+        r = _first_result(res)
         axis = float(res.scenario.name.split("/")[1])
+        if r is None:
+            table.append(axis=axis, runtime=res.scenario.runtime,
+                         completed=False, wall_ms=0.0, reboots=0)
+            continue
         table.append(axis=axis, runtime=res.scenario.runtime,
                      completed=r.completed, wall_ms=r.wall_time_s * 1e3,
                      reboots=r.reboots)
@@ -781,7 +814,12 @@ def _sweep_trace_collect(report, ctx: StudyContext, cache) -> ResultTable:
         ("reboots", "int"),
     ))
     for res in report.results:
-        r = res.stats.results[0]
+        r = _first_result(res)
+        if r is None:
+            table.append(trace=res.scenario.name.split("/")[1],
+                         runtime=res.scenario.runtime, completed=False,
+                         wall_ms=0.0, reboots=0)
+            continue
         table.append(trace=res.scenario.name.split("/")[1],
                      runtime=res.scenario.runtime, completed=r.completed,
                      wall_ms=r.wall_time_s * 1e3, reboots=r.reboots)

@@ -1,0 +1,205 @@
+"""CLI durability tests: atomic artifacts, --out/--resume, kill-resume.
+
+The artifact-durability bugfixes this covers: a failed re-run used to
+truncate-then-unlink an existing good artifact (the sink was opened at
+the destination path before the run, and the cleanup handler unlinked
+it), and a successful run whose serializer died mid-stream (disk full)
+left a truncated file behind.  Both paths now go through a ``.tmp``
+sibling and an atomic ``os.replace`` — the destination is only ever
+touched after a complete, fsynced payload exists.
+
+The kill-and-resume test is the acceptance scenario end to end: a fleet
+run with ``--out`` is SIGKILLed mid-grid, resumed with ``--resume``, and
+the merged table must be bit-identical to an uninterrupted run's.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro.cli as cli
+from repro.cli import main
+from repro.store import MANIFEST_NAME, ResultStore
+from repro.store.shards import SHARD_DIR
+from repro.study import Profile, ResultTable, run_study
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+# ---------------------------------------------------------------------------
+# Atomic artifact writes (the S1/S2 bugfixes)
+# ---------------------------------------------------------------------------
+
+
+class TestAtomicArtifacts:
+    def test_failed_rerun_preserves_previous_artifact(self, tmp_path, capsys):
+        out = str(tmp_path / "table.json")
+        assert main(["run", "table1", "--json", out]) == 0
+        good = open(out).read()
+        # fig8 doesn't take tasks: the run fails after the sink opened.
+        assert main(["run", "fig8", "--task", "har", "--json", out]) == 1
+        assert "does not use" in capsys.readouterr().err
+        assert open(out).read() == good
+        assert not os.path.exists(out + ".tmp")
+
+    def test_failed_first_run_leaves_nothing(self, tmp_path):
+        out = str(tmp_path / "fresh.json")
+        assert main(["run", "fig8", "--task", "har", "--json", out]) == 1
+        assert not os.path.exists(out)
+        assert not os.path.exists(out + ".tmp")
+
+    def test_bad_path_fails_fast(self, tmp_path, capsys):
+        out = str(tmp_path / "no" / "such" / "dir" / "x.json")
+        assert main(["run", "table1", "--json", out]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_write_dying_mid_stream_preserves_artifact(self, tmp_path,
+                                                       monkeypatch, capsys):
+        out = str(tmp_path / "table.json")
+        assert main(["run", "table1", "--json", out]) == 0
+        good = open(out).read()
+
+        class ExplodingFile:
+            """File wrapper whose write raises after a byte budget."""
+
+            def __init__(self, fh, budget):
+                self._fh = fh
+                self._budget = budget
+
+            def write(self, data):
+                self._budget -= len(data)
+                if self._budget < 0:
+                    raise OSError(28, "No space left on device")
+                return self._fh.write(data)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self._fh.close()
+
+            def __getattr__(self, name):
+                return getattr(self._fh, name)
+
+        monkeypatch.setattr(
+            cli, "_open_artifact",
+            lambda path, mode: ExplodingFile(open(path, mode), budget=64))
+        assert main(["run", "table1", "--json", out]) == 1
+        assert "No space left" in capsys.readouterr().err
+        # The prior artifact is untouched and no torn temp file remains.
+        assert open(out).read() == good
+        assert not os.path.exists(out + ".tmp")
+
+
+# ---------------------------------------------------------------------------
+# --out / --resume flag plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestStoreFlags:
+    def test_resume_requires_out(self, capsys):
+        assert main(["run", "table1", "--resume"]) == 1
+        assert "--resume needs --out" in capsys.readouterr().err
+
+    def test_shard_rows_requires_out(self, capsys):
+        assert main(["run", "table1", "--shard-rows", "8"]) == 1
+        assert "--shard-rows needs --out" in capsys.readouterr().err
+
+    def test_shard_rows_validated(self, tmp_path, capsys):
+        assert main(["run", "table1", "--shard-rows", "0",
+                     "--out", str(tmp_path / "st")]) == 1
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_existing_store_requires_resume(self, tmp_path, capsys):
+        st = str(tmp_path / "st")
+        assert main(["run", "table1", "--out", st]) == 0
+        assert main(["run", "table1", "--out", st]) == 1
+        assert "pass --resume" in capsys.readouterr().err
+        assert main(["run", "table1", "--out", st, "--resume"]) == 0
+
+    def test_resume_on_fresh_directory_is_fine(self, tmp_path, capsys):
+        # --resume grants permission to reuse; with nothing to reuse it
+        # is simply a fresh run (idempotent scripts pass it always).
+        assert main(["run", "table1", "--out", str(tmp_path / "st"),
+                     "--resume"]) == 0
+
+    def test_direct_study_archives_table(self, tmp_path, capsys):
+        st = str(tmp_path / "st")
+        assert main(["run", "fig8", "--out", st]) == 0
+        first = capsys.readouterr()
+        assert "table cache 0 hits / 1 misses" in first.err
+        assert main(["run", "fig8", "--out", st, "--resume"]) == 0
+        second = capsys.readouterr()
+        assert "table cache 1 hits / 0 misses" in second.err
+        assert second.out == first.out  # rendered from the archived table
+
+    def test_fleet_run_streams_scenarios_and_resumes(self, tmp_path, capsys):
+        st = str(tmp_path / "st")
+        args = ["run", "fleet", "--serial", "--samples", "1",
+                "--task", "mnist", "--shard-rows", "4"]
+        assert main(args + ["--out", st]) == 0
+        first = capsys.readouterr()
+        assert "18 misses" in first.err
+        store = ResultStore(st)
+        assert len(store) == 18
+        assert main(args + ["--out", st, "--resume"]) == 0
+        second = capsys.readouterr()
+        # Second run: the archived study table short-circuits everything.
+        assert "table cache 1 hits" in second.err
+        assert second.out == first.out
+
+
+# ---------------------------------------------------------------------------
+# Kill mid-run, resume, compare bit-identically (the acceptance scenario)
+# ---------------------------------------------------------------------------
+
+
+class TestKillAndResume:
+    def test_sigkill_then_resume_is_bit_identical(self, tmp_path):
+        store = tmp_path / "st"
+        out_json = tmp_path / "out.json"
+        argv = [sys.executable, "-m", "repro", "run", "fleet", "--serial",
+                "--samples", "2", "--task", "mnist",
+                "--out", str(store), "--shard-rows", "1"]
+        env = dict(os.environ, PYTHONPATH=SRC)
+        proc = subprocess.Popen(argv, env=env, cwd=str(tmp_path),
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+        # Wait until at least two scenario results are durable, then
+        # kill -9 the process mid-grid.  (If the grid finishes first the
+        # resume below degenerates to a pure replay — still a valid,
+        # if weaker, check.)
+        shard_dir = store / SHARD_DIR
+        deadline = time.time() + 120
+        while time.time() < deadline and proc.poll() is None:
+            if shard_dir.is_dir() and \
+                    len(list(shard_dir.glob("shard-*.npz"))) >= 2:
+                break
+            time.sleep(0.05)
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=60)
+
+        # The interrupted store is valid: committed cells survived.
+        interrupted = ResultStore(store)
+        survivors = len(interrupted)
+        del interrupted
+
+        rc = subprocess.run(
+            argv + ["--resume", "--json", str(out_json)], env=env,
+            cwd=str(tmp_path), stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE, timeout=600)
+        assert rc.returncode == 0, rc.stderr.decode()
+        stderr = rc.stderr.decode()
+        assert f"scenario cache {survivors} hits" in stderr
+
+        resumed = ResultTable.from_json(out_json.read_text())
+        plain = run_study(
+            "fleet", parallel=False,
+            profile=Profile(tasks=("mnist",), samples=2)).table
+        assert resumed == plain  # bit-identical, meta included
