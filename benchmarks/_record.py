@@ -36,6 +36,30 @@ import numpy as np
 
 SCHEMA_VERSION = 1
 
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _relativize_argv(tokens) -> str:
+    """Command tokens with paths made repo-relative.
+
+    The raw ``sys.argv`` starts with the absolute interpreter-specific
+    pytest path of whatever host ran the bench; committing that churns
+    the baseline on every machine.  Paths under the repo become
+    relative, paths outside it collapse to their basename, and
+    non-path tokens pass through.
+    """
+    out = []
+    for tok in tokens:
+        if os.sep in tok:
+            try:
+                out.append(str(Path(tok).resolve().relative_to(_REPO_ROOT)))
+                continue
+            except ValueError:
+                out.append(Path(tok).name)
+                continue
+        out.append(tok)
+    return " ".join(out)
+
 
 def bench_output_path(name: str) -> Path:
     """Where ``BENCH_<name>.json`` lands (repo root unless overridden)."""
@@ -65,7 +89,7 @@ def record_bench(
         "python": platform.python_version(),
         "numpy": np.__version__,
         "platform": platform.platform(),
-        "argv": " ".join(sys.argv[:3]),
+        "argv": _relativize_argv(sys.argv[:3]),
         "smoke": os.environ.get("REPRO_BENCH_SMOKE") == "1",
         "cases": {
             case: {key: float(val) for key, val in stats.items()}

@@ -6,14 +6,21 @@ baseline committed at the repo root and fails when a case regressed by
 more than the tolerance (default 30%).
 
 Raw wall-clock medians do not transfer across hosts (CI runners vs the
-dev box) or across smoke/full sample counts, so the gate diffs the
-*normalized* median where it can: ``median_s / reference_median_s`` —
-the fast engine's cost in units of the reference engine measured in the
-same process on the same host.  That is exactly the ratio of the two
-case medians the file records, and it is the quantity the fastsim bench
-exists to protect.  Cases without a ``reference_median_s`` fall back to
-comparing raw ``median_s`` (only meaningful when baseline and fresh run
-on comparable hosts — CI keeps those cases out of the gated file).
+dev box) or across smoke/full sample counts, so each case is gated on
+the sturdiest metric it records, in this order:
+
+* **exact** — ``sim_wall_s``: simulated seconds are deterministic
+  output of the simulator, identical across hosts, engines, and
+  smoke/full profiles.  Gated *bidirectionally* with a near-zero
+  tolerance (``--exact-tolerance``): any drift means the simulation
+  changed, which is a correctness bug wearing a perf costume.
+* **normalized** — ``median_s / reference_median_s``: the fast
+  engine's cost in units of the reference engine measured in the same
+  process on the same host.  Load drift cancels in the ratio; gated by
+  ``--tolerance``.
+* **raw** — ``median_s`` alone, for cases without a reference twin.
+  Only meaningful when baseline and fresh run on comparable hosts, so
+  it gets its own (typically much wider) ``--raw-tolerance``.
 
 A case present in the baseline but missing from the fresh file counts
 as a regression (a silently dropped benchmark is how perf rot hides);
@@ -35,6 +42,7 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_TOLERANCE = 0.30
+DEFAULT_EXACT_TOLERANCE = 1e-9
 
 
 def load_cases(path: Path) -> dict:
@@ -46,14 +54,22 @@ def load_cases(path: Path) -> dict:
 
 
 def metric(stats: dict):
-    """(value, label) to compare — lower is always better."""
+    """(value, label, kind) to compare; lower is better except ``exact``.
+
+    ``kind`` selects the tolerance regime: ``exact`` (deterministic
+    simulated quantity, bidirectional near-zero gate), ``normalized``
+    (same-process ratio), or ``raw`` (host-dependent wall clock).
+    """
+    sim = stats.get("sim_wall_s")
+    if sim is not None:
+        return sim, "sim_wall_s", "exact"
     median = stats.get("median_s")
     if median is None:
-        return None, "missing median_s"
+        return None, "missing median_s", "raw"
     ref = stats.get("reference_median_s")
     if ref and ref > 0:
-        return median / ref, "median_s/reference_median_s"
-    return median, "median_s"
+        return median / ref, "median_s/reference_median_s", "normalized"
+    return median, "median_s", "raw"
 
 
 def main(argv=None) -> int:
@@ -67,19 +83,33 @@ def main(argv=None) -> int:
              "(default: BENCH_fastsim.json at the repo root)")
     parser.add_argument(
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
-        help="allowed fractional slowdown before a case fails "
+        help="allowed fractional slowdown of normalized cases "
              f"(default {DEFAULT_TOLERANCE:.2f} = "
              f"{DEFAULT_TOLERANCE:.0%})")
+    parser.add_argument(
+        "--raw-tolerance", type=float, default=None,
+        help="allowed fractional slowdown of raw median_s cases "
+             "(default: same as --tolerance; widen when baseline and "
+             "fresh run on different hosts)")
+    parser.add_argument(
+        "--exact-tolerance", type=float, default=DEFAULT_EXACT_TOLERANCE,
+        help="allowed |relative drift| of deterministic (sim_wall_s) "
+             f"cases, either direction (default {DEFAULT_EXACT_TOLERANCE:g})")
     args = parser.parse_args(argv)
+    raw_tolerance = (
+        args.raw_tolerance if args.raw_tolerance is not None
+        else args.tolerance
+    )
 
     baseline = load_cases(args.baseline)
     fresh = load_cases(args.fresh)
 
     regressions = 0
     print(f"bench regression gate: {args.fresh} vs {args.baseline} "
-          f"(tolerance {args.tolerance:.0%})")
+          f"(tolerance {args.tolerance:.0%}, raw {raw_tolerance:.0%}, "
+          f"exact {args.exact_tolerance:g})")
     for case in sorted(baseline):
-        base_val, base_label = metric(baseline[case])
+        base_val, base_label, base_kind = metric(baseline[case])
         if base_val is None:
             print(f"  ?  {case:22s} baseline has no median_s — skipped")
             continue
@@ -87,17 +117,23 @@ def main(argv=None) -> int:
             print(f"  !! {case:22s} missing from fresh results")
             regressions += 1
             continue
-        fresh_val, fresh_label = metric(fresh[case])
+        fresh_val, fresh_label, fresh_kind = metric(fresh[case])
         if fresh_val is None or fresh_label != base_label:
             print(f"  !! {case:22s} metric mismatch "
                   f"({base_label} vs {fresh_label})")
             regressions += 1
             continue
         change = fresh_val / base_val - 1.0
-        flag = "!!" if change > args.tolerance else "ok"
-        print(f"  {flag} {case:22s} {base_label}: "
+        if base_kind == "exact":
+            failed = abs(change) > args.exact_tolerance
+        elif base_kind == "raw":
+            failed = change > raw_tolerance
+        else:
+            failed = change > args.tolerance
+        flag = "!!" if failed else "ok"
+        print(f"  {flag} {case:22s} {base_label} [{base_kind}]: "
               f"{base_val:.4g} -> {fresh_val:.4g}  ({change:+.1%})")
-        if change > args.tolerance:
+        if failed:
             regressions += 1
     for case in sorted(set(fresh) - set(baseline)):
         print(f"  +  {case:22s} new case (not gated)")

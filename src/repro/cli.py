@@ -27,6 +27,17 @@ existing invocations and benchmarks keep working::
     python -m repro traces export NAME --out FILE.{csv,npz} [--seed N]
     python -m repro all [--fast]
 
+and the observability surface (see :mod:`repro.obs`)::
+
+    python -m repro run <study> --metrics METRICS.json --trace TRACE.json
+    python -m repro stats METRICS.json
+    python -m repro bench report [--dir DIR] [--against DIR]
+
+``--metrics`` captures a merged counters/gauges/durations snapshot of
+the run (fleet workers included); ``--trace`` captures spans as Chrome
+trace-event JSON (open in Perfetto or ``chrome://tracing``).  Both are
+written atomically alongside the study artifacts.
+
 Configuration errors print one line to stderr and exit with status 1.
 """
 
@@ -116,10 +127,11 @@ class _ArtifactSink:
     previous run produced exactly as it was.
     """
 
-    def __init__(self, path: str, mode: str, write) -> None:
+    def __init__(self, path: str, mode: str, write, note: str = "") -> None:
         self.path = path
         self.tmp = path + ".tmp"
         self.write = write
+        self.note = note
         self.fh = _open_artifact(self.tmp, mode)
 
     def commit(self, table) -> None:
@@ -172,39 +184,68 @@ def _open_store(args) -> "Optional[ResultStore]":
 
 
 def _cmd_run(args) -> None:
+    import json as _json
+
+    from repro import obs
     from repro.study import get_study
 
     store = _open_store(args)
+    obs_on = bool(args.metrics or args.trace)
+    if obs_on:
+        # Fresh registry for this run; FleetRunner ships the flag to its
+        # workers and merges their snapshots back, so the artifacts
+        # cover the whole process tree.
+        obs.reset()
+        obs.enable()
     # Open temp files *before* running: a bad path must fail in
     # milliseconds, not after minutes of simulation.  The destination
     # paths themselves are untouched until the run succeeds (see
     # _ArtifactSink) — a failed re-run never destroys a good artifact.
     sinks = []
     try:
-        if args.json:
-            sinks.append(_ArtifactSink(
-                args.json, "w",
-                lambda fh, t: fh.write(t.to_json(indent=2))))
-        if args.npz:
-            # np.savez accepts an open binary handle.
-            sinks.append(_ArtifactSink(
-                args.npz, "wb", lambda fh, t: t.to_npz(fh)))
-        # With a durable store, one broken scenario becomes an error row
-        # (already-finished cells are on disk; aborting would help no
-        # one); without one, failures stop the run as before.
-        on_error = ("record"
-                    if store is not None
-                    and get_study(args.study).fleet_executed
-                    else "raise")
-        run = _execute(args.study, args, store=store, on_error=on_error)
-    except BaseException:
+        try:
+            if args.json:
+                sinks.append(_ArtifactSink(
+                    args.json, "w",
+                    lambda fh, t: fh.write(t.to_json(indent=2))))
+            if args.npz:
+                # np.savez accepts an open binary handle.
+                sinks.append(_ArtifactSink(
+                    args.npz, "wb", lambda fh, t: t.to_npz(fh)))
+            if args.metrics:
+                # Snapshot taken at commit time, i.e. after the run (and
+                # after the fleet absorbed its workers' snapshots).
+                sinks.append(_ArtifactSink(
+                    args.metrics, "w",
+                    lambda fh, _t: _json.dump(
+                        obs.snapshot(), fh, indent=2, sort_keys=True),
+                    note="metrics snapshot"))
+            if args.trace:
+                sinks.append(_ArtifactSink(
+                    args.trace, "w",
+                    lambda fh, _t: obs.export_chrome_trace(fh),
+                    note="chrome trace"))
+            # With a durable store, one broken scenario becomes an error
+            # row (already-finished cells are on disk; aborting would
+            # help no one); without one, failures stop the run as before.
+            on_error = ("record"
+                        if store is not None
+                        and get_study(args.study).fleet_executed
+                        else "raise")
+            run = _execute(args.study, args, store=store, on_error=on_error)
+        except BaseException:
+            for sink in sinks:
+                sink.discard()
+            raise
+        print(run.render())
         for sink in sinks:
-            sink.discard()
-        raise
-    print(run.render())
-    for sink in sinks:
-        sink.commit(run.table)
-        print(f"wrote {sink.path}: {run.table!r}", file=sys.stderr)
+            sink.commit(run.table)
+            print(f"wrote {sink.path}: {sink.note or repr(run.table)}",
+                  file=sys.stderr)
+    finally:
+        if obs_on:
+            obs.reset()
+            obs.disable()
     if store is not None:
         print(store.summary(), file=sys.stderr)
         if run.report is not None and run.report.failures:
@@ -296,6 +337,86 @@ def _cmd_traces(args) -> None:
     print(f"wrote {args.name} (seed {args.seed}) to {args.out}: {trace!r}")
 
 
+def _cmd_stats(args) -> None:
+    import json
+
+    from repro import obs
+
+    try:
+        with open(args.file) as fh:
+            snap = json.load(fh)
+    except ValueError as exc:
+        raise ConfigurationError(f"{args.file}: not valid JSON ({exc})")
+    print(obs.render_snapshot(snap))
+
+
+def _cmd_bench(args) -> None:
+    import json
+
+    from repro.experiments.reporting import format_table
+
+    if args.action != "report":
+        raise ConfigurationError(f"unknown bench action {args.action!r}")
+    root = args.dir or "."
+    paths = sorted(
+        p for p in os.listdir(root)
+        if p.startswith("BENCH_") and p.endswith(".json")
+    )
+    if not paths:
+        raise ConfigurationError(
+            f"no BENCH_*.json files under {root!r} (run the benchmarks, "
+            "or pass --dir)")
+    against = {}
+    if args.against:
+        for p in os.listdir(args.against):
+            if p.startswith("BENCH_") and p.endswith(".json"):
+                with open(os.path.join(args.against, p)) as fh:
+                    against[p] = json.load(fh)
+    blocks = []
+    for name in paths:
+        with open(os.path.join(root, name)) as fh:
+            payload = json.load(fh)
+        other = against.get(name, {}).get("cases", {})
+        headers = ["case", "median", "speedup", "details"]
+        if against:
+            headers.append(f"vs {args.against}")
+        rows = []
+        for case, stats in sorted(payload.get("cases", {}).items()):
+            median = stats.get("median_s")
+            speedup = stats.get("speedup_vs_reference")
+            extras = ", ".join(
+                f"{k}={v:g}" for k, v in sorted(stats.items())
+                if k not in ("median_s", "speedup_vs_reference",
+                             "reference_median_s")
+            )
+            row = [
+                case,
+                f"{median * 1e3:.3f} ms" if median is not None else "-",
+                f"{speedup:.2f}x" if speedup is not None else "-",
+                extras or "-",
+            ]
+            if against:
+                base = other.get(case, {}).get("median_s")
+                row.append(
+                    f"{median / base:.2f}x"
+                    if median is not None and base else "-"
+                )
+            rows.append(row)
+        import datetime
+
+        when = datetime.datetime.fromtimestamp(
+            payload.get("created_unix", 0), datetime.timezone.utc
+        ).strftime("%Y-%m-%d")
+        title = (
+            f"{payload.get('bench', name)} — {when}, "
+            f"python {payload.get('python', '?')}, "
+            f"numpy {payload.get('numpy', '?')}"
+            + (", SMOKE" if payload.get("smoke") else "")
+        )
+        blocks.append(format_table(headers, rows, title=title))
+    print("\n\n".join(blocks))
+
+
 def _cmd_all(args) -> None:
     _cmd_table1(args)
     print()
@@ -357,6 +478,13 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--corpus", nargs="*", metavar="NAME", default=None,
                     help="sweep corpus-backed supplies (fleet; no names = "
                          "whole corpus)")
+    pr.add_argument("--metrics", metavar="OUT",
+                    help="enable observability and write the merged "
+                         "counters/durations snapshot (workers included) "
+                         "as JSON")
+    pr.add_argument("--trace", metavar="OUT",
+                    help="enable observability and write spans as Chrome "
+                         "trace-event JSON (open in Perfetto)")
 
     sub.add_parser("table1", help="Table I: BCM storage reduction")
 
@@ -405,6 +533,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="rendering seed (default 0)")
     pt.add_argument("--out", help="export path: .csv or .npz")
 
+    px = sub.add_parser("stats",
+                        help="render a --metrics snapshot for humans")
+    px.add_argument("file", help="metrics JSON written by 'run --metrics'")
+
+    pb = sub.add_parser("bench",
+                        help="benchmark trajectory: report BENCH_*.json")
+    pb.add_argument("action", choices=("report",))
+    pb.add_argument("--dir", default=None, metavar="DIR",
+                    help="directory holding BENCH_*.json (default: .)")
+    pb.add_argument("--against", default=None, metavar="DIR",
+                    help="second directory to compare medians against")
+
     pa = sub.add_parser("all", help="everything (slow)")
     pa.add_argument("--fast", action="store_true")
     return parser
@@ -422,6 +562,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "fleet": _cmd_fleet,
     "traces": _cmd_traces,
+    "stats": _cmd_stats,
+    "bench": _cmd_bench,
     "all": _cmd_all,
 }
 

@@ -22,6 +22,8 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.fleet.scenario import Scenario
+from repro.obs import metrics as _obs
+from repro.obs import spans as _spans
 from repro.rad.quantize import QuantizedModel
 
 
@@ -42,18 +44,25 @@ class ModelCache:
         model = self._models.get(key)
         if model is not None:
             self.hits += 1
+            if _obs.ENABLED:
+                _obs.count("fleet.model_cache.hits")
             return model
         # Imported lazily: experiments.common pulls in every runtime.
         from repro.experiments.common import prepare_quantized
 
         self.misses += 1
-        model = prepare_quantized(
-            scenario.task,
-            compressed=scenario.compressed,
-            pruned=scenario.pruned,
-            seed=scenario.model_seed,
-            calib_n=scenario.calib_n,
-        )
+        if _obs.ENABLED:
+            _obs.count("fleet.model_cache.misses")
+        with _spans.span("fleet.model_build", task=scenario.task,
+                         compressed=scenario.compressed,
+                         pruned=scenario.pruned):
+            model = prepare_quantized(
+                scenario.task,
+                compressed=scenario.compressed,
+                pruned=scenario.pruned,
+                seed=scenario.model_seed,
+                calib_n=scenario.calib_n,
+            )
         self._models[key] = model
         return model
 

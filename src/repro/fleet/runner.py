@@ -44,6 +44,9 @@ from repro.errors import ConfigurationError, ScenarioExecutionError
 from repro.fleet.cache import ModelCache
 from repro.fleet.report import FleetReport, ScenarioResult
 from repro.fleet.scenario import Scenario
+from repro.obs import metrics as _obs
+from repro.obs import spans as _spans
+from repro.obs.snapshot import merge_all
 from repro.rad.quantize import QuantizedModel
 
 #: Accepted failure policies (see :meth:`FleetRunner.run`).
@@ -121,8 +124,15 @@ def _execute_captured(
     the pool mid-map, and the failure always names its scenario.
     """
     try:
-        return execute_scenario(scenario, qmodel, engine=engine)
+        with _spans.span("fleet.scenario", scenario=scenario.name,
+                         runtime=scenario.runtime):
+            result = execute_scenario(scenario, qmodel, engine=engine)
+        if _obs.ENABLED:
+            _obs.count("fleet.scenarios")
+        return result
     except Exception as exc:
+        if _obs.ENABLED:
+            _obs.count("fleet.scenarios_failed")
         return _failure_result(scenario, exc)
 
 
@@ -135,23 +145,42 @@ _WORKER_MODELS: Dict[Tuple, QuantizedModel] = {}
 _WORKER_ENGINE = "reference"
 
 
-def _init_worker(models: Dict[Tuple, QuantizedModel], engine: str = "reference") -> None:
+def _init_worker(
+    models: Dict[Tuple, QuantizedModel],
+    engine: str = "reference",
+    obs_on: bool = False,
+) -> None:
     global _WORKER_ENGINE
     _WORKER_MODELS.clear()
     _WORKER_MODELS.update(models)
     _WORKER_ENGINE = engine
+    # A forked worker inherits the parent's metric state; reset it so the
+    # snapshots it ships back count only its own work (the parent absorbs
+    # them on top of its own registry — no double counting).
+    _obs.reset_metrics()
+    _spans.clear()
+    if obs_on:
+        _obs.enable()
+    else:
+        _obs.disable()
 
 
-def _run_in_worker(item: Tuple[int, Scenario]) -> Tuple[int, ScenarioResult]:
-    """Pool task: ``(input index, scenario) -> (input index, result)``.
+def _run_in_worker(item: Tuple[int, Scenario]):
+    """Pool task: ``(input index, scenario) -> (index, result, obs)``.
 
     The index rides along so the parent can reassemble ``imap_unordered``
-    output into input order without trusting arrival order.
+    output into input order without trusting arrival order.  The third
+    element is this worker's *cumulative* metrics snapshot (``None`` when
+    observability is off); the parent keeps the highest-``seq`` snapshot
+    per worker pid and merges them, so per-task snapshots are cheap to
+    take and the fold is deterministic regardless of arrival order.
     """
     index, scenario = item
-    return index, _execute_captured(
+    result = _execute_captured(
         scenario, _WORKER_MODELS[scenario.model_key], _WORKER_ENGINE
     )
+    payload = _obs.snapshot() if _obs.ENABLED else None
+    return index, result, payload
 
 
 class FleetRunner:
@@ -247,7 +276,8 @@ class FleetRunner:
         else:
             to_run = list(enumerate(scenarios))
 
-        models = self.prepare_models([s for _, s in to_run])
+        with _spans.span("fleet.model_prep", scenarios=len(to_run)):
+            models = self.prepare_models([s for _, s in to_run])
         fresh: Dict[int, ScenarioResult] = {}
 
         def commit(index: int, result: ScenarioResult) -> None:
@@ -259,9 +289,13 @@ class FleetRunner:
                     )
                 return
             if store is not None:
-                store.put(keys[index], result, engine=self.engine)
+                with _spans.span("fleet.commit",
+                                 scenario=result.scenario.name):
+                    store.put(keys[index], result, engine=self.engine)
 
         use_pool = self.parallel and self.workers > 1 and len(to_run) > 1
+        if _obs.ENABLED and cached:
+            _obs.count("fleet.scenarios_cached", len(cached))
         try:
             if use_pool:
                 self._run_parallel(to_run, models, commit)
@@ -296,8 +330,15 @@ class FleetRunner:
     ) -> None:
         ctx = multiprocessing.get_context()
         procs = min(self.workers, len(items))
+        if _obs.ENABLED:
+            _obs.gauge("fleet.workers", procs)
+        # Latest cumulative snapshot per worker pid; absorbed into the
+        # parent registry only after a clean map (an aborted fleet does
+        # not half-count worker metrics).
+        worker_snaps: Dict[int, dict] = {}
         with ctx.Pool(
-            procs, initializer=_init_worker, initargs=(models, self.engine)
+            procs, initializer=_init_worker,
+            initargs=(models, self.engine, _obs.ENABLED),
         ) as pool:
             # chunksize=1: scenarios vary widely in cost (DNF-heavy cells
             # finish early, stall-heavy cells drag), so fine-grained
@@ -306,10 +347,18 @@ class FleetRunner:
             # scenario at a time, not after the whole map.  A commit that
             # raises (on_error="raise") terminates the pool on exit from
             # this block; already-committed results stay durable.
-            for index, result in pool.imap_unordered(
-                _run_in_worker, items, chunksize=1
-            ):
-                commit(index, result)
+            with _spans.span("fleet.dispatch", scenarios=len(items),
+                             workers=procs):
+                for index, result, payload in pool.imap_unordered(
+                    _run_in_worker, items, chunksize=1
+                ):
+                    if payload is not None:
+                        prev = worker_snaps.get(payload["pid"])
+                        if prev is None or payload["seq"] >= prev["seq"]:
+                            worker_snaps[payload["pid"]] = payload
+                    commit(index, result)
+        if worker_snaps and _obs.ENABLED:
+            _obs.absorb(merge_all(list(worker_snaps.values())))
 
 
 def run_fleet(

@@ -27,12 +27,15 @@ pickled — fleet workers rebuild them lazily on first forward.
 
 from __future__ import annotations
 
+import time
 import weakref
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs import metrics as _obs
+from repro.obs import spans as _spans
 from repro.fixedpoint.overflow import OverflowMonitor
 from repro.fixedpoint.q15 import INT16_MAX, INT16_MIN, saturate16
 from repro.kernels.fftplan import FFTPlan, _clip, get_fft_plan, record_out_of_range
@@ -99,6 +102,7 @@ class BCMPlan:
         monitor: Optional[OverflowMonitor] = None,
         mode: Optional[str] = None,
     ) -> np.ndarray:
+        t0 = time.perf_counter_ns() if _obs.ENABLED else 0
         mode = mode or self.default_mode
         if mode not in BCM_MODES:
             raise ConfigurationError(f"bcm mode must be one of {BCM_MODES}")
@@ -214,7 +218,10 @@ class BCMPlan:
         out = out + self.bias
         if monitor is not None:
             monitor.check_saturation("bcm_out", out, INT16_MIN, INT16_MAX)
-        return saturate16(out)
+        out16 = saturate16(out)
+        if _obs.ENABLED:
+            _spans.record("kernels.execute", t0, kind="bcm", n=self.k, batch=n)
+        return out16
 
 
 #: id-keyed plan cache with weakref eviction (the ProgramCache pattern).
@@ -226,12 +233,22 @@ def get_bcm_plan(layer) -> BCMPlan:
     key = id(layer)
     plan = _PLANS.get(key)
     if plan is None:
-        plan = BCMPlan(layer)
+        if _obs.ENABLED:
+            _obs.count("kernels.bcm_plan.misses")
+            with _spans.span(
+                "kernels.plan_build", kind="bcm",
+                n=int(getattr(layer, "block_size", 0)),
+            ):
+                plan = BCMPlan(layer)
+        else:
+            plan = BCMPlan(layer)
         _PLANS[key] = plan
         try:
             weakref.finalize(layer, _PLANS.pop, key, None)
         except TypeError:  # pragma: no cover - non-weakref-able layer
             pass
+    elif _obs.ENABLED:
+        _obs.count("kernels.bcm_plan.hits")
     return plan
 
 

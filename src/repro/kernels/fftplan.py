@@ -31,12 +31,15 @@ in and out between FFT, spectral multiply, and IFFT.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.fixedpoint.fft import bit_reversal_permutation, twiddle_q15
+from repro.obs import metrics as _obs
+from repro.obs import spans as _spans
 from repro.fixedpoint.overflow import OverflowMonitor
 from repro.fixedpoint.q15 import INT16_MAX, INT16_MIN
 
@@ -202,6 +205,7 @@ class FFTPlan:
     def fft(self, re, im, *, scaling: str = "stage",
             monitor: Optional[OverflowMonitor] = None):
         """Planned ``q15_fft``: returns ``(re, im, scale_log2)`` in int16."""
+        t0 = time.perf_counter_ns() if _obs.ENABLED else 0
         re = np.asarray(re)
         batch = re.shape[:-1]
         n = self.n
@@ -217,11 +221,14 @@ class FFTPlan:
         # reference's saturate16.
         out_re.reshape(B, n)[...] = ws.X[0].T
         out_im.reshape(B, n)[...] = ws.X[1].T
+        if _obs.ENABLED:
+            _spans.record("kernels.execute", t0, kind="fft", n=n, batch=B)
         return out_re, out_im, (self.log2n if scaling == "stage" else 0)
 
     def ifft(self, re, im, *, scaling: str = "stage",
              monitor: Optional[OverflowMonitor] = None):
         """Planned ``q15_ifft`` via the conjugation identity."""
+        t0 = time.perf_counter_ns() if _obs.ENABLED else 0
         re = np.asarray(re)
         batch = re.shape[:-1]
         n = self.n
@@ -238,6 +245,8 @@ class FFTPlan:
         out_im = np.empty(batch + (n,), np.int16)
         out_re.reshape(B, n)[...] = ws.X[0].T
         out_im.reshape(B, n)[...] = ws.X[1].T
+        if _obs.ENABLED:
+            _spans.record("kernels.execute", t0, kind="ifft", n=n, batch=B)
         return out_re, out_im, fwd - self.log2n
 
 
@@ -252,6 +261,14 @@ def get_fft_plan(n: int) -> FFTPlan:
     if plan is None:
         if len(_PLANS) >= 64:
             _PLANS.clear()
-        plan = FFTPlan(int(n))
+        if _obs.ENABLED:
+            _obs.count("kernels.fft_plan.misses")
+            with _spans.span("kernels.plan_build", kind="fft", n=int(n)):
+                plan = FFTPlan(int(n))
+            _obs.gauge("kernels.fft_plans", len(_PLANS) + 1)
+        else:
+            plan = FFTPlan(int(n))
         _PLANS[n] = plan
+    elif _obs.ENABLED:
+        _obs.count("kernels.fft_plan.hits")
     return plan

@@ -19,6 +19,8 @@ from repro.fixedpoint.overflow import OverflowMonitor
 from repro.fixedpoint.q15 import INT16_MAX, INT16_MIN, saturate16
 from repro.fixedpoint.rfft import _mirror_indices, _untangle_twiddles
 from repro.kernels.fftplan import get_fft_plan
+from repro.obs import metrics as _obs
+from repro.obs import spans as _spans
 
 
 class RFFTPlan:
@@ -84,6 +86,13 @@ def get_rfft_plan(n: int) -> RFFTPlan:
     if plan is None:
         if len(_PLANS) >= 64:
             _PLANS.clear()
-        plan = RFFTPlan(int(n))
+        if _obs.ENABLED:
+            _obs.count("kernels.rfft_plan.misses")
+            with _spans.span("kernels.plan_build", kind="rfft", n=int(n)):
+                plan = RFFTPlan(int(n))
+        else:
+            plan = RFFTPlan(int(n))
         _PLANS[n] = plan
+    elif _obs.ENABLED:
+        _obs.count("kernels.rfft_plan.hits")
     return plan

@@ -25,6 +25,8 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.obs import metrics as _obs
+
 #: Entry/byte budgets before least-recently-used eviction.  Sized for the
 #: model zoo (a handful of BCM layers per model, a few models per
 #: process); the byte cap bounds what a training loop — whose every step
@@ -58,9 +60,13 @@ def weight_spectra(w) -> np.ndarray:
     spec = _CACHE.get(key)
     if spec is not None:
         _HITS += 1
+        if _obs.ENABLED:
+            _obs.count("kernels.spectra.hits")
         _CACHE.move_to_end(key)
         return spec
     _MISSES += 1
+    if _obs.ENABLED:
+        _obs.count("kernels.spectra.misses")
     spec = np.fft.fft(w, axis=-1)
     spec.setflags(write=False)
     _CACHE[key] = spec

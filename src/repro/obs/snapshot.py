@@ -1,0 +1,153 @@
+"""Snapshot schema, validation, and the deterministic merge.
+
+A snapshot is the JSON-serializable value a process exports from its
+registry (:func:`repro.obs.metrics.snapshot`) and the wire format
+worker processes ship back through FleetRunner's result channel::
+
+    {
+      "schema": 1,
+      "pid": 12345,          # producing process
+      "seq": 3,              # monotone per process; cumulative snapshots
+      "counters": {"machine.reboots": 17, ...},     # ints
+      "gauges": {"kernels.fft_plans": 2.0, ...},    # floats
+      "durations": {
+        "span.session.sense": {
+          "count": 4, "total_ns": 81234567,
+          "min_ns": 1201, "max_ns": 40012345,
+          "buckets": {"16777216": 3, "67108864": 1}
+        }, ...
+      }
+    }
+
+**Merge semantics.**  Counters and every duration field are integers,
+so :func:`merge` is exactly associative and commutative on them —
+worker totals are independent of arrival order and scheduling.  Gauges
+are floats and are *summed*; float addition is associative only to the
+ulp, which is why :func:`merge_all` canonicalizes the fold order by
+``(pid, seq)`` — the same input set always folds the same way.  The
+recorded gauges (cache/plan table sizes, worker counts) are small
+integers stored as floats, so in practice even the gauge sum is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import ConfigurationError
+
+SNAPSHOT_SCHEMA = 1
+
+_DURATION_FIELDS = ("count", "total_ns", "min_ns", "max_ns")
+
+
+def empty_snapshot() -> dict:
+    """The merge identity: an all-empty schema-1 snapshot."""
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "pid": 0,
+        "seq": 0,
+        "counters": {},
+        "gauges": {},
+        "durations": {},
+    }
+
+
+def validate_snapshot(snap: object) -> dict:
+    """Check ``snap`` against the schema; returns it (for chaining)."""
+    if not isinstance(snap, dict):
+        raise ConfigurationError(
+            f"snapshot must be a dict, got {type(snap).__name__}"
+        )
+    if snap.get("schema") != SNAPSHOT_SCHEMA:
+        raise ConfigurationError(
+            f"unknown snapshot schema {snap.get('schema')!r} "
+            f"(this build reads schema {SNAPSHOT_SCHEMA})"
+        )
+    for field in ("pid", "seq"):
+        if not isinstance(snap.get(field), int):
+            raise ConfigurationError(f"snapshot {field!r} must be an int")
+    for section, kind in (("counters", int), ("gauges", (int, float))):
+        table = snap.get(section)
+        if not isinstance(table, dict):
+            raise ConfigurationError(f"snapshot {section!r} must be a dict")
+        for key, val in table.items():
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"snapshot {section} key {key!r} must be a string"
+                )
+            if not isinstance(val, kind) or isinstance(val, bool):
+                raise ConfigurationError(
+                    f"snapshot {section}[{key!r}] has non-numeric "
+                    f"value {val!r}"
+                )
+    durations = snap.get("durations")
+    if not isinstance(durations, dict):
+        raise ConfigurationError("snapshot 'durations' must be a dict")
+    for name, d in durations.items():
+        if not isinstance(d, dict):
+            raise ConfigurationError(
+                f"snapshot duration {name!r} must be a dict"
+            )
+        for field in _DURATION_FIELDS:
+            if not isinstance(d.get(field), int):
+                raise ConfigurationError(
+                    f"snapshot duration {name!r} needs integer {field!r}"
+                )
+        buckets = d.get("buckets", {})
+        if not isinstance(buckets, dict):
+            raise ConfigurationError(
+                f"snapshot duration {name!r} buckets must be a dict"
+            )
+        for b, n in buckets.items():
+            if not isinstance(b, str) or not isinstance(n, int):
+                raise ConfigurationError(
+                    f"snapshot duration {name!r} has a malformed bucket "
+                    f"({b!r}: {n!r})"
+                )
+    return snap
+
+
+def merge(a: dict, b: dict) -> dict:
+    """Pure two-snapshot merge (neither input is mutated).
+
+    Integer sections add exactly; duration ``min``/``max`` take
+    min/max; gauges sum.  ``pid``/``seq`` of the result are zeroed —
+    a merged snapshot no longer belongs to one process's stream.
+    """
+    out = empty_snapshot()
+    for snap in (a, b):
+        for key, val in snap.get("counters", {}).items():
+            out["counters"][key] = out["counters"].get(key, 0) + int(val)
+        for key, val in snap.get("gauges", {}).items():
+            out["gauges"][key] = out["gauges"].get(key, 0.0) + float(val)
+        for name, d in snap.get("durations", {}).items():
+            tgt = out["durations"].get(name)
+            if tgt is None:
+                out["durations"][name] = {
+                    "count": int(d["count"]),
+                    "total_ns": int(d["total_ns"]),
+                    "min_ns": int(d["min_ns"]),
+                    "max_ns": int(d["max_ns"]),
+                    "buckets": dict(d.get("buckets", {})),
+                }
+                continue
+            tgt["count"] += int(d["count"])
+            tgt["total_ns"] += int(d["total_ns"])
+            tgt["min_ns"] = min(tgt["min_ns"], int(d["min_ns"]))
+            tgt["max_ns"] = max(tgt["max_ns"], int(d["max_ns"]))
+            for bucket, n in d.get("buckets", {}).items():
+                tgt["buckets"][bucket] = tgt["buckets"].get(bucket, 0) + int(n)
+    return out
+
+
+def merge_all(snaps: Iterable[dict]) -> dict:
+    """Merge any number of snapshots, folding in canonical (pid, seq)
+    order so the result is independent of the iteration order handed in.
+    """
+    ordered: List[dict] = sorted(
+        snaps, key=lambda s: (s.get("pid", 0), s.get("seq", 0))
+    )
+    out = empty_snapshot()
+    for snap in ordered:
+        out = merge(out, snap)
+    return out

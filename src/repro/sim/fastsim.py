@@ -65,6 +65,8 @@ from repro.power.traces import (
     SquareWaveTrace,
     StochasticRFTrace,
 )
+from repro.obs import metrics as _obs
+from repro.obs import spans as _spans
 from repro.sim.atoms import total_cycles, validate_program
 from repro.sim.machine import IntermittentMachine
 from repro.sim.results import RunResult
@@ -627,6 +629,11 @@ class ProgramCache:
         anchor = getattr(runtime, "qmodel", None)
         if anchor is None:
             self.misses += 1
+            if _obs.ENABLED:
+                _obs.count("sim.program_cache.misses")
+                with _spans.span("sim.program.compile",
+                                 runtime=runtime.name):
+                    return compile_program(runtime)
             return compile_program(runtime)
         key = (
             type(runtime).__module__,
@@ -638,9 +645,16 @@ class ProgramCache:
         program = self._programs.get(key)
         if program is not None:
             self.hits += 1
+            if _obs.ENABLED:
+                _obs.count("sim.program_cache.hits")
             return program
         self.misses += 1
-        program = compile_program(runtime)
+        if _obs.ENABLED:
+            _obs.count("sim.program_cache.misses")
+            with _spans.span("sim.program.compile", runtime=runtime.name):
+                program = compile_program(runtime)
+        else:
+            program = compile_program(runtime)
         self._programs[key] = program
         try:
             weakref.finalize(anchor, self._programs.pop, key, None)
@@ -730,6 +744,11 @@ class FastMachine:
             self._program = self._cache.get(self.runtime)
         if self.device.supply is None:
             return self._run_continuous(x, defer_logits)
+        if _obs.ENABLED:
+            # A span per harvested replay (continuous runs are microsecond
+            # scale — a span there would dominate the thing it measures).
+            with _spans.span("sim.replay", runtime=self.runtime.name):
+                return self._run_harvested(x, defer_logits)
         return self._run_harvested(x, defer_logits)
 
     @property
@@ -856,6 +875,23 @@ class FastMachine:
         series[0] = head
         return FastMachine._cumsum_last(program, tag, series)
 
+    @staticmethod
+    def _record_machine_events(
+        completed: bool, reboots: int, restores: int,
+        brownouts: int, checkpoints: int,
+    ) -> None:
+        """Publish one harvested run's event counts into the registry."""
+        _obs.count("machine.runs")
+        _obs.count("machine.completed" if completed else "machine.dnf")
+        if reboots:
+            _obs.count("machine.reboots", reboots)
+        if restores:
+            _obs.count("machine.restores", restores)
+        if brownouts:
+            _obs.count("machine.brownouts", brownouts)
+        if checkpoints:
+            _obs.count("machine.checkpoints", checkpoints)
+
     def _run_continuous(self, x, defer_logits: bool) -> Tuple[RunResult, bool]:
         p = self._program
         meter = self.device.meter
@@ -907,6 +943,9 @@ class FastMachine:
             program_cycles=p.program_cycles,
             dnf_reason="",
         )
+        if _obs.ENABLED:
+            _obs.count("machine.runs")
+            _obs.count("machine.completed")
         return result, needs
 
     def _run_harvested_reference(self, x, defer_logits: bool) -> Tuple[RunResult, bool]:
@@ -950,6 +989,12 @@ class FastMachine:
         snapshot_on = p.snapshot_on_warning and monitor is not None
         v_warn = monitor.v_warn if monitor is not None else 0.0
         mon_warnings = monitor.warnings if monitor is not None else 0
+        # Observability baselines (event counts publish as deltas at run
+        # end; the replay arithmetic is untouched).
+        _rec = _obs.ENABLED
+        _failures0 = failures
+        _mon0 = mon_warnings
+        n_restores = 0
 
         e_get = e_by.get
         t_get = t_by.get
@@ -1195,6 +1240,7 @@ class FastMachine:
                     rcpu + rfram,
                 ):
                     continue  # pathological: failed during restore
+                n_restores += 1
             cursor_atom, cursor_it = durable_atom, durable_it
 
         # === write back state and assemble the RunResult ===
@@ -1214,6 +1260,11 @@ class FastMachine:
         diff_t = self._diff(start_t, t_by, [k for k in t_by if k not in start_t])
         diff_p = self._diff(start_p, p_by, [k for k in p_by if k not in start_p])
 
+        if _rec:
+            self._record_machine_events(
+                completed, reboots, n_restores,
+                failures - _failures0, mon_warnings - _mon0,
+            )
         logits, pred, needs = self._finish_logits(x, completed, defer_logits)
         active = sum(diff_t.values())
         charge = supply.charge_time_s - charge_start
@@ -1354,6 +1405,12 @@ class FastMachine:
         # sentinel disables the low-voltage peek when snapshots are off.
         sv_warn = v_warn if snapshot_on else -1.0
         mon_warnings = monitor.warnings if monitor is not None else 0
+        # Observability baselines (event counts publish as deltas at run
+        # end; the replay arithmetic is untouched).
+        _rec = _obs.ENABLED
+        _failures0 = failures
+        _mon0 = mon_warnings
+        n_restores = 0
 
         e_get = e_by.get
         t_get = t_by.get
@@ -2213,6 +2270,7 @@ class FastMachine:
                     rcpu + rfram,
                 ):
                     continue  # pathological: failed during restore
+                n_restores += 1
             cursor_atom, cursor_it = durable_atom, durable_it
 
         # === write back state and assemble the RunResult ===
@@ -2233,6 +2291,11 @@ class FastMachine:
         diff_t = self._diff(start_t, t_by, [k for k in t_by if k not in start_t])
         diff_p = self._diff(start_p, p_by, [k for k in p_by if k not in start_p])
 
+        if _rec:
+            self._record_machine_events(
+                completed, reboots, n_restores,
+                failures - _failures0, mon_warnings - _mon0,
+            )
         logits, pred, needs = self._finish_logits(x, completed, defer_logits)
         active = sum(diff_t.values())
         charge = charge_time - charge_start

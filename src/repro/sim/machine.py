@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, InferenceAborted, PowerFailureError
 from repro.hw import constants as C
+from repro.obs import metrics as _obs
 from repro.power.monitor import VoltageMonitor
 
 if TYPE_CHECKING:  # avoid a circular import (hw.board uses sim.atoms)
@@ -118,6 +119,15 @@ class IntermittentMachine:
         charge_start = supply.charge_time_s if supply is not None else 0.0
         commit_on = self.runtime.commit_enabled
 
+        # Observability baselines: event counters are published as
+        # *deltas* at run end (never from inside the storm loop), so the
+        # simulation arithmetic and operation order are untouched.
+        _rec = _obs.ENABLED
+        if _rec:
+            _failures0 = supply.failures if supply is not None else 0
+            _warnings0 = self.monitor.warnings if self.monitor is not None else 0
+        n_restores = 0
+
         durable = _Cursor()
         cursor = _Cursor()
         executed_cycles = 0.0
@@ -162,6 +172,7 @@ class IntermittentMachine:
                         self._pay_restore(restore + self._volatile_at(atoms, durable))
                     except PowerFailureError:
                         continue  # pathological: failed during restore
+                    n_restores += 1
                 cursor = _Cursor(durable.atom, durable.iteration)
 
         diff = device.meter.diff(meter_start)
@@ -173,6 +184,19 @@ class IntermittentMachine:
         active = diff.total_time_s
         charge = (supply.charge_time_s - charge_start) if supply is not None else 0.0
         wall = (supply.clock_s - clock_start) if supply is not None else active
+        if _rec:
+            _obs.count("machine.runs")
+            _obs.count("machine.completed" if completed else "machine.dnf")
+            if reboots:
+                _obs.count("machine.reboots", reboots)
+            if n_restores:
+                _obs.count("machine.restores", n_restores)
+            if supply is not None and supply.failures != _failures0:
+                _obs.count("machine.brownouts", supply.failures - _failures0)
+            if (self.monitor is not None
+                    and self.monitor.warnings != _warnings0):
+                _obs.count("machine.checkpoints",
+                           self.monitor.warnings - _warnings0)
         return RunResult(
             runtime=self.runtime.name,
             completed=completed,

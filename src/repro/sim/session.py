@@ -22,6 +22,8 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.kernels import warm_quantized_model
+from repro.obs import metrics as _obs
+from repro.obs import spans as _spans
 from repro.power.monitor import VoltageMonitor
 from repro.sim.fastsim import make_machine
 from repro.sim.results import RunResult
@@ -144,24 +146,42 @@ class SensingSession:
         inference path (asserted by the conformance suite).
         """
         stats = SessionStats(runtime=self.runtime.name)
+        # Overflow saturations are observed as a monitor *delta* around
+        # the whole session (engine-identical by the bit-identity
+        # contract); the simulation itself is untouched.
+        _rec = _obs.ENABLED
+        if _rec:
+            _qmon = getattr(self.runtime, "qmodel", None)
+            _qmon = getattr(_qmon, "monitor", None)
+            _overflow0 = _qmon.total if _qmon is not None else 0
         consecutive_dnf = 0
         pending = []  # (result, sample) pairs awaiting logits
-        for x in samples:
-            result, needs_logits = self.machine.run_deferred(x)
-            stats.results.append(result)
-            if needs_logits:
-                pending.append((result, x))
-            if result.completed:
-                consecutive_dnf = 0
-            else:
-                consecutive_dnf += 1
-                if consecutive_dnf >= self.give_up_after_dnf:
-                    break
+        with _spans.span("session.sense", runtime=self.runtime.name,
+                         engine=self.engine, samples=len(samples)):
+            for x in samples:
+                result, needs_logits = self.machine.run_deferred(x)
+                stats.results.append(result)
+                if needs_logits:
+                    pending.append((result, x))
+                if result.completed:
+                    consecutive_dnf = 0
+                else:
+                    consecutive_dnf += 1
+                    if consecutive_dnf >= self.give_up_after_dnf:
+                        break
         if pending:
-            logits = self.runtime.compute_logits_batch(
-                np.stack([x for _, x in pending])
-            )
+            with _spans.span("session.compute", runtime=self.runtime.name,
+                             batch=len(pending)):
+                logits = self.runtime.compute_logits_batch(
+                    np.stack([x for _, x in pending])
+                )
             for (result, _), row in zip(pending, logits):
                 result.logits = row
                 result.predicted_class = int(np.argmax(row))
+        if _rec:
+            _obs.count("session.sessions")
+            _obs.count("session.samples", stats.inferences)
+            if _qmon is not None and _qmon.total != _overflow0:
+                _obs.count("machine.overflow_saturations",
+                           _qmon.total - _overflow0)
         return stats

@@ -34,6 +34,7 @@ from typing import Dict, Optional
 from repro import __version__
 from repro.errors import ConfigurationError
 from repro.fleet.report import ScenarioResult
+from repro.obs import metrics as _obs
 from repro.fleet.scenario import Scenario
 from repro.store.records import RECORD_FORMAT, encode_result
 from repro.store.shards import ShardStore
@@ -141,8 +142,12 @@ class ResultStore:
         payload = self._index.get(key)
         if payload is None:
             self.misses += 1
+            if _obs.ENABLED:
+                _obs.count("store.scenario.misses")
         else:
             self.hits += 1
+            if _obs.ENABLED:
+                _obs.count("store.scenario.hits")
         return payload
 
     def put(self, key: str, result: ScenarioResult, *, engine: str = "") -> None:
@@ -168,6 +173,8 @@ class ResultStore:
             payload=payload,
         )
         self._index[key] = payload
+        if _obs.ENABLED:
+            _obs.count("store.puts")
 
     def flush(self) -> None:
         """Commit buffered records as a shard (durable after this call)."""
@@ -183,8 +190,12 @@ class ResultStore:
         path = self._table_path(key)
         if not path.is_file():
             self.table_misses += 1
+            if _obs.ENABLED:
+                _obs.count("store.table.misses")
             return None
         self.table_hits += 1
+        if _obs.ENABLED:
+            _obs.count("store.table.hits")
         return ResultTable.from_npz(str(path))
 
     def save_table(self, key: str, table: ResultTable) -> None:

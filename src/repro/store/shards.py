@@ -46,6 +46,8 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs import metrics as _obs
+from repro.obs import spans as _spans
 from repro.study.table import ColumnLike, ResultTable
 
 #: On-disk manifest format (bump when the layout changes incompatibly).
@@ -219,20 +221,25 @@ class ShardStore:
         """
         if not len(self._pending):
             return
-        name = f"shard-{len(self._shards):06d}.npz"
-        path = self._shard_dir / name
-        tmp = self._shard_dir / (name + ".tmp")
-        with open(tmp, "wb") as fh:
-            self._pending.to_npz(fh)
-            fh.flush()
-            os.fsync(fh.fileno())
-        digest = _digest_file(tmp)
-        os.replace(tmp, path)
-        self._shards.append(
-            {"name": name, "rows": len(self._pending), "blake2b": digest}
-        )
-        self._write_manifest()
-        self._pending = self._new_table()
+        rows = len(self._pending)
+        with _spans.span("store.shard.flush", rows=rows):
+            name = f"shard-{len(self._shards):06d}.npz"
+            path = self._shard_dir / name
+            tmp = self._shard_dir / (name + ".tmp")
+            with open(tmp, "wb") as fh:
+                self._pending.to_npz(fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            digest = _digest_file(tmp)
+            os.replace(tmp, path)
+            self._shards.append(
+                {"name": name, "rows": rows, "blake2b": digest}
+            )
+            self._write_manifest()
+            self._pending = self._new_table()
+        if _obs.ENABLED:
+            _obs.count("store.shard.flushes")
+            _obs.count("store.shard.rows", rows)
 
     # -- reading --------------------------------------------------------------
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs import metrics as _obs
 from repro.study.table import ResultTable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -188,6 +189,9 @@ class StudyRun:
     ``None`` when the whole finished table came out of the ``store``'s
     table cache, because nothing was executed.  ``store`` echoes the
     durable store the run used, with its hit/miss counters updated.
+    ``obs`` is a merged :mod:`repro.obs` metrics snapshot (workers
+    included) taken as the run returned — ``None`` unless observability
+    was enabled.
     """
 
     study: Study
@@ -195,6 +199,7 @@ class StudyRun:
     report: Optional["FleetReport"] = None
     cache: Optional["ModelCache"] = None
     store: Optional["ResultStore"] = None
+    obs: Optional[dict] = None
 
     def render(self) -> str:
         return self.study.render(self.table)
@@ -293,7 +298,10 @@ def run_study(
         table_key = study_table_key(study.name, profile, engine)
         archived = store.load_table(table_key)
         if archived is not None:
-            return StudyRun(study, archived, store=store)
+            return StudyRun(
+                study, archived, store=store,
+                obs=_obs.snapshot() if _obs.ENABLED else None,
+            )
     ctx = StudyContext(
         profile=profile,
         engine=engine,
@@ -311,9 +319,11 @@ def run_study(
         if store is not None and report.failures == 0:
             store.save_table(table_key, table)
         return StudyRun(study, table, report=report, cache=runner.cache,
-                        store=store)
+                        store=store,
+                        obs=_obs.snapshot() if _obs.ENABLED else None)
     table = study.run(ctx)
     table.meta.setdefault("study", study.name)
     if store is not None:
         store.save_table(table_key, table)
-    return StudyRun(study, table, store=store)
+    return StudyRun(study, table, store=store,
+                    obs=_obs.snapshot() if _obs.ENABLED else None)
