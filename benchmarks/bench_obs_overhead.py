@@ -153,6 +153,9 @@ def test_obs_overhead(benchmark):
             "harvested_session_disabled": {"median_s": disabled_s},
             "harvested_session_enabled": {
                 "median_s": enabled_s,
+                # Normalized pair for the CI regression gate: the gate
+                # diffs enabled/disabled as a host-portable ratio.
+                "reference_median_s": disabled_s,
                 "overhead_vs_disabled": overhead,
             },
             "disabled_gate": {

@@ -33,6 +33,12 @@ and the observability surface (see :mod:`repro.obs`)::
     python -m repro stats METRICS.json
     python -m repro bench report [--dir DIR] [--against DIR]
 
+and the study service (see :mod:`repro.serve`)::
+
+    python -m repro serve [--port P] [--workers N] [--out DIR] [--metrics]
+    python -m repro submit <study> [--url URL] [--engine ...] [--json OUT]
+                                   [--job-json OUT] [--no-wait]
+
 ``--metrics`` captures a merged counters/gauges/durations snapshot of
 the run (fleet workers included); ``--trace`` captures spans as Chrome
 trace-event JSON (open in Perfetto or ``chrome://tracing``).  Both are
@@ -417,6 +423,81 @@ def _cmd_bench(args) -> None:
     print("\n\n".join(blocks))
 
 
+def _cmd_serve(args) -> None:
+    from repro import obs
+    from repro.serve import StudyService, serve_http
+
+    if args.metrics:
+        obs.reset()
+        obs.enable()
+    store = _open_store(args)
+    service = StudyService(workers=args.workers, store=store)
+    server = serve_http(service, args.host, args.port, log=args.verbose)
+    # One parseable line, flushed before blocking: scripts starting the
+    # server on an ephemeral port (--port 0) read the bound URL from it.
+    print(f"repro serve: listening on {server.url} "
+          f"({args.workers} workers)", flush=True)
+    try:
+        # serve_forever runs on the daemon thread; park until signalled.
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down (draining queue)",
+              file=sys.stderr)
+    finally:
+        server.shutdown()
+        service.close()
+
+
+def _job_line(job: dict) -> str:
+    flavor = "dedup hit" if job.get("dedup") else "executed"
+    return (f"repro submit: {job['id']} [{job['study']}] "
+            f"{job['state']} ({flavor})")
+
+
+def _cmd_submit(args) -> None:
+    import json as _json
+
+    from repro.serve import JobSpec, ServeClient
+    from repro.study import get_study
+    from repro.study.table import ResultTable
+
+    spec = JobSpec(
+        study=args.study,
+        engine=args.engine,
+        workers=args.workers,
+        parallel=not args.serial,
+        profile=_profile_from_args(args),
+        timeout_s=args.job_timeout,
+    )
+    client = ServeClient(args.url)
+    job = client.submit(spec)
+    print(_job_line(job), file=sys.stderr)
+    if args.no_wait:
+        print(_json.dumps(job, indent=2))
+        return
+    job = client.wait(job["id"], timeout=args.timeout)
+    if args.job_json:
+        sink = _ArtifactSink(
+            args.job_json, "w",
+            lambda fh, payload: fh.write(_json.dumps(payload, indent=2)))
+        sink.commit(job)
+    if job["state"] != "done":
+        # Surface the server-side failure as the usual CLI error path.
+        client.result(job["id"])  # raises JobFailedError
+        raise ReproError(f"job {job['id']} ended {job['state']}")
+    # Fetch the exact bytes the service serialized: --json artifacts are
+    # byte-equal across deduped submissions, by construction.
+    raw = client.result_json(job["id"])
+    table = ResultTable.from_json(raw.decode("utf-8"))
+    if args.json:
+        sink = _ArtifactSink(args.json, "wb", lambda fh, _t: fh.write(raw))
+        sink.commit(table)
+        print(f"wrote {args.json}: {table!r}", file=sys.stderr)
+    print(get_study(args.study).render(table))
+
+
 def _cmd_all(args) -> None:
     _cmd_table1(args)
     print()
@@ -545,6 +626,66 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--against", default=None, metavar="DIR",
                     help="second directory to compare medians against")
 
+    pv = sub.add_parser(
+        "serve",
+        help="run the concurrent study service (HTTP JSON API)")
+    pv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default 127.0.0.1)")
+    pv.add_argument("--port", type=int, default=8321,
+                    help="bind port (0 = ephemeral; the bound URL is "
+                         "printed on startup)")
+    pv.add_argument("--workers", type=int, default=2,
+                    help="concurrent job executions (default 2)")
+    pv.add_argument("--out", metavar="DIR",
+                    help="durable result store backing the service "
+                         "(scenario results stream in, finished tables "
+                         "are archived)")
+    pv.add_argument("--resume", action="store_true",
+                    help="reuse an existing --out store")
+    pv.add_argument("--shard-rows", type=int, default=None, metavar="N",
+                    help="rows per store shard (with --out; default 256)")
+    pv.add_argument("--metrics", action="store_true",
+                    help="enable observability (served at GET /metrics)")
+    pv.add_argument("--verbose", action="store_true",
+                    help="log each HTTP request to stderr")
+
+    pm = sub.add_parser(
+        "submit",
+        help="submit one study job to a running 'repro serve'")
+    pm.add_argument("study", help="study name (see 'repro list')")
+    pm.add_argument("--url", default="http://127.0.0.1:8321",
+                    help="service base URL (default http://127.0.0.1:8321)")
+    pm.add_argument("--engine", choices=("reference", "fast"),
+                    default="reference",
+                    help="simulation engine (fast = precompiled replay, "
+                         "bit-identical results)")
+    pm.add_argument("--workers", type=int, default=None,
+                    help="fleet worker processes for this job")
+    pm.add_argument("--serial", action="store_true",
+                    help="force serial execution for this job")
+    pm.add_argument("--task", choices=("mnist", "har", "okg"), nargs="+",
+                    help="tasks to run (default: the study's own)")
+    pm.add_argument("--seed", type=int, default=0, help="study seed")
+    pm.add_argument("--full", action="store_true",
+                    help="full training profile (table2)")
+    pm.add_argument("--samples", type=int, default=4,
+                    help="samples per scenario session (fleet)")
+    pm.add_argument("--corpus", nargs="*", metavar="NAME", default=None,
+                    help="sweep corpus-backed supplies (fleet)")
+    pm.add_argument("--job-timeout", type=float, default=None, metavar="S",
+                    help="server-side execution timeout for this job")
+    pm.add_argument("--timeout", type=float, default=None, metavar="S",
+                    help="client-side wait bound (default: wait forever)")
+    pm.add_argument("--no-wait", action="store_true",
+                    help="print the accepted job as JSON and return "
+                         "without waiting")
+    pm.add_argument("--json", metavar="OUT",
+                    help="write the result table as lossless JSON "
+                         "(the service's exact bytes)")
+    pm.add_argument("--job-json", metavar="OUT",
+                    help="write the final job resource (state, dedup, "
+                         "timings) as JSON")
+
     pa = sub.add_parser("all", help="everything (slow)")
     pa.add_argument("--fast", action="store_true")
     return parser
@@ -564,6 +705,8 @@ _COMMANDS = {
     "traces": _cmd_traces,
     "stats": _cmd_stats,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "all": _cmd_all,
 }
 

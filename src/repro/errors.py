@@ -67,3 +67,28 @@ class ScenarioExecutionError(ReproError):
         self.scenario_name = scenario_name
         self.error = error
         super().__init__(f"scenario {scenario_name!r} failed: {error}")
+
+
+class ServiceClosedError(ReproError):
+    """A job was submitted to a study service that is shutting down.
+
+    Raised synchronously by :meth:`repro.serve.service.StudyService.
+    submit` once shutdown has begun — jobs accepted before the call keep
+    running (or drain, per the shutdown mode), but no new work enters
+    the queue.
+    """
+
+
+class JobFailedError(ReproError):
+    """A service job finished in the ``failed`` state.
+
+    Raised when a caller asks for the *result* of a failed job
+    (:meth:`repro.serve.service.StudyService.result`, or the HTTP
+    client's ``wait``).  Carries the job id and the captured traceback
+    text from the execution that failed.
+    """
+
+    def __init__(self, job_id: str, error: str) -> None:
+        self.job_id = job_id
+        self.error = error
+        super().__init__(f"job {job_id} failed: {error}")

@@ -19,8 +19,10 @@ from results, never from a cached model after a fleet run.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Tuple
 
+from repro.concurrency import KeyedLocks
 from repro.fleet.scenario import Scenario
 from repro.obs import metrics as _obs
 from repro.obs import spans as _spans
@@ -28,15 +30,35 @@ from repro.rad.quantize import QuantizedModel
 
 
 class ModelCache:
-    """Memoized ``prepare_quantized`` keyed by :attr:`Scenario.model_key`."""
+    """Memoized ``prepare_quantized`` keyed by :attr:`Scenario.model_key`.
+
+    Thread-safe: racing first requests for the *same* key build exactly
+    once (the loser waits on a per-key lock and picks up the winner's
+    model), while distinct keys build fully concurrently — model builds
+    run for seconds, so one global build lock would serialize a
+    service's unrelated jobs.  Hits stay lock-free.
+    """
 
     def __init__(self) -> None:
         self._models: Dict[Tuple, QuantizedModel] = {}
         self.hits = 0
         self.misses = 0
+        self._build_locks = KeyedLocks()
+        self._execution_locks = KeyedLocks()
 
     def __len__(self) -> int:
         return len(self._models)
+
+    def execution_lock(self, key: Tuple) -> threading.Lock:
+        """Per-model-key lock serializing *execution* on a shared model.
+
+        Cached models are execution-stateless except for their overflow
+        monitor (per-scenario scratch, see the module docstring), so two
+        threads must not run scenarios on the same cached model at once.
+        :class:`~repro.fleet.runner.FleetRunner`'s serial path holds this
+        around each scenario; scenarios on distinct models stay parallel.
+        """
+        return self._execution_locks.lock(key)
 
     def get(self, scenario: Scenario) -> QuantizedModel:
         """The scenario's prepared model, building it on first request."""
@@ -50,21 +72,28 @@ class ModelCache:
         # Imported lazily: experiments.common pulls in every runtime.
         from repro.experiments.common import prepare_quantized
 
-        self.misses += 1
-        if _obs.ENABLED:
-            _obs.count("fleet.model_cache.misses")
-        with _spans.span("fleet.model_build", task=scenario.task,
-                         compressed=scenario.compressed,
-                         pruned=scenario.pruned):
-            model = prepare_quantized(
-                scenario.task,
-                compressed=scenario.compressed,
-                pruned=scenario.pruned,
-                seed=scenario.model_seed,
-                calib_n=scenario.calib_n,
-            )
-        self._models[key] = model
-        return model
+        with self._build_locks.lock(key):
+            model = self._models.get(key)
+            if model is not None:
+                self.hits += 1
+                if _obs.ENABLED:
+                    _obs.count("fleet.model_cache.hits")
+                return model
+            self.misses += 1
+            if _obs.ENABLED:
+                _obs.count("fleet.model_cache.misses")
+            with _spans.span("fleet.model_build", task=scenario.task,
+                             compressed=scenario.compressed,
+                             pruned=scenario.pruned):
+                model = prepare_quantized(
+                    scenario.task,
+                    compressed=scenario.compressed,
+                    pruned=scenario.pruned,
+                    seed=scenario.model_seed,
+                    calib_n=scenario.calib_n,
+                )
+            self._models[key] = model
+            return model
 
     def summary(self) -> str:
         return (

@@ -301,9 +301,15 @@ class FleetRunner:
                 self._run_parallel(to_run, models, commit)
             else:
                 for index, scenario in to_run:
-                    commit(index, _execute_captured(
-                        scenario, models[scenario.model_key], self.engine
-                    ))
+                    # Serialize per model: the cached model's overflow
+                    # monitor is per-scenario scratch, and with a shared
+                    # ModelCache (repro.serve) another thread's run may
+                    # hold the same model.  Distinct models don't contend.
+                    with self.cache.execution_lock(scenario.model_key):
+                        result = _execute_captured(
+                            scenario, models[scenario.model_key], self.engine
+                        )
+                    commit(index, result)
         finally:
             # Whatever happens next, finished work is durable now.
             if store is not None:

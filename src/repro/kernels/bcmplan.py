@@ -27,12 +27,14 @@ pickled — fleet workers rebuild them lazily on first forward.
 
 from __future__ import annotations
 
+import threading
 import time
 import weakref
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.concurrency import ForkSafeLock
 from repro.errors import ConfigurationError
 from repro.obs import metrics as _obs
 from repro.obs import spans as _spans
@@ -78,10 +80,16 @@ class BCMPlan:
             np.stack([np.stack([wre, wim]), np.stack([-wim, wre])])[..., None]
         )
         self.fftplan: FFTPlan = get_fft_plan(k)
-        self._scratch: Dict[int, Tuple[np.ndarray, ...]] = {}
+        # (thread ident, batch) -> scratch tuple; see _buffers().
+        self._scratch: Dict[tuple, Tuple[np.ndarray, ...]] = {}
 
     def _buffers(self, n: int):
-        bufs = self._scratch.get(n)
+        # Keyed by thread as well as batch size: the buffers are mutable
+        # scratch, and concurrent service threads running forwards
+        # through the same plan must never share them (same contract as
+        # FFTPlan.workspace).
+        key = (threading.get_ident(), n)
+        bufs = self._scratch.get(key)
         if bufs is None:
             if len(self._scratch) >= 8:
                 self._scratch.clear()
@@ -93,7 +101,7 @@ class BCMPlan:
             # then runs contiguous x contiguous -> contiguous.
             WX = np.ascontiguousarray(np.broadcast_to(self.W, P.shape))
             Y = np.empty((n, p, k), np.int64)
-            self._scratch[n] = bufs = (P, T, ACC, WX, Y)
+            self._scratch[key] = bufs = (P, T, ACC, WX, Y)
         return bufs
 
     def forward(
@@ -226,27 +234,39 @@ class BCMPlan:
 
 #: id-keyed plan cache with weakref eviction (the ProgramCache pattern).
 _PLANS: Dict[int, BCMPlan] = {}
+#: Guards the build path (double-checked; see repro.concurrency).
+_PLANS_LOCK = ForkSafeLock()
 
 
 def get_bcm_plan(layer) -> BCMPlan:
-    """The shared :class:`BCMPlan` for a ``QuantBCM`` layer instance."""
+    """The shared :class:`BCMPlan` for a ``QuantBCM`` layer instance.
+
+    Thread-safe: racing first forwards through one layer build exactly
+    one plan (double-checked under the lock); the hit path stays
+    lock-free.  Execution through a shared plan is safe because the
+    plan's only mutable state, its scratch buffers, is keyed per thread.
+    """
     key = id(layer)
     plan = _PLANS.get(key)
     if plan is None:
-        if _obs.ENABLED:
-            _obs.count("kernels.bcm_plan.misses")
-            with _spans.span(
-                "kernels.plan_build", kind="bcm",
-                n=int(getattr(layer, "block_size", 0)),
-            ):
+        with _PLANS_LOCK:
+            plan = _PLANS.get(key)
+            if plan is not None:
+                return plan
+            if _obs.ENABLED:
+                _obs.count("kernels.bcm_plan.misses")
+                with _spans.span(
+                    "kernels.plan_build", kind="bcm",
+                    n=int(getattr(layer, "block_size", 0)),
+                ):
+                    plan = BCMPlan(layer)
+            else:
                 plan = BCMPlan(layer)
-        else:
-            plan = BCMPlan(layer)
-        _PLANS[key] = plan
-        try:
-            weakref.finalize(layer, _PLANS.pop, key, None)
-        except TypeError:  # pragma: no cover - non-weakref-able layer
-            pass
+            _PLANS[key] = plan
+            try:
+                weakref.finalize(layer, _PLANS.pop, key, None)
+            except TypeError:  # pragma: no cover - non-weakref-able layer
+                pass
     elif _obs.ENABLED:
         _obs.count("kernels.bcm_plan.hits")
     return plan

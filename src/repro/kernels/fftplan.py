@@ -31,11 +31,13 @@ in and out between FFT, spectral multiply, and IFFT.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.concurrency import ForkSafeLock
 from repro.errors import ConfigurationError
 from repro.fixedpoint.fft import bit_reversal_permutation, twiddle_q15
 from repro.obs import metrics as _obs
@@ -139,18 +141,32 @@ class FFTPlan:
             self.base_w.append(
                 np.array([[wre, wim], [-wim, wre]], dtype=np.int32)
             )
-        self._workspaces: Dict[int, Workspace] = {}
+        # (thread ident, flattened batch) -> scratch; see workspace().
+        self._workspaces: Dict[tuple, Workspace] = {}
 
     # -- workspace management -----------------------------------------------
 
     def workspace(self, B: int) -> Workspace:
-        """The preallocated workspace for a flattened batch of ``B`` rows."""
-        ws = self._workspaces.get(B)
+        """The preallocated workspace for a flattened batch of ``B`` rows.
+
+        Workspaces are mutable scratch, so they are keyed by *thread* as
+        well as batch size: two threads running the same plan
+        concurrently (the ``repro.serve`` worker pool) each get their
+        own buffers and never observe each other's intermediate stage
+        state — which is what keeps concurrent execution bit-identical
+        to serial.  Single-threaded callers see the same one-entry
+        cache as before (same thread ident on every call); dict get/set
+        are GIL-atomic, and a racing ``clear()`` only drops cache
+        entries — a Workspace already fetched by another thread stays
+        valid through the references it holds.
+        """
+        key = (threading.get_ident(), B)
+        ws = self._workspaces.get(key)
         if ws is None:
             if len(self._workspaces) >= _MAX_WORKSPACES:
                 self._workspaces.clear()
             ws = Workspace(self, B)
-            self._workspaces[B] = ws
+            self._workspaces[key] = ws
         return ws
 
     def load(self, ws: Workspace, re2d, im2d, *, negate_im: bool = False) -> None:
@@ -253,22 +269,34 @@ class FFTPlan:
 #: Process-local plan cache; workers rebuild plans lazily after a fork or
 #: pickle round trip (construction is microseconds per length).
 _PLANS: Dict[int, FFTPlan] = {}
+#: Guards the build path; see repro.concurrency for the locking idiom.
+_PLANS_LOCK = ForkSafeLock()
 
 
 def get_fft_plan(n: int) -> FFTPlan:
-    """The shared :class:`FFTPlan` for length ``n`` (built on first use)."""
+    """The shared :class:`FFTPlan` for length ``n`` (built on first use).
+
+    Thread-safe, double-checked: the hit path is the bare dict lookup it
+    always was; the miss path builds under a lock, so racing threads get
+    exactly one build per length and share the finished (immutable)
+    plan.
+    """
     plan = _PLANS.get(n)
     if plan is None:
-        if len(_PLANS) >= 64:
-            _PLANS.clear()
-        if _obs.ENABLED:
-            _obs.count("kernels.fft_plan.misses")
-            with _spans.span("kernels.plan_build", kind="fft", n=int(n)):
+        with _PLANS_LOCK:
+            plan = _PLANS.get(n)
+            if plan is not None:
+                return plan
+            if len(_PLANS) >= 64:
+                _PLANS.clear()
+            if _obs.ENABLED:
+                _obs.count("kernels.fft_plan.misses")
+                with _spans.span("kernels.plan_build", kind="fft", n=int(n)):
+                    plan = FFTPlan(int(n))
+                _obs.gauge("kernels.fft_plans", len(_PLANS) + 1)
+            else:
                 plan = FFTPlan(int(n))
-            _obs.gauge("kernels.fft_plans", len(_PLANS) + 1)
-        else:
-            plan = FFTPlan(int(n))
-        _PLANS[n] = plan
+            _PLANS[n] = plan
     elif _obs.ENABLED:
         _obs.count("kernels.fft_plan.hits")
     return plan

@@ -14,6 +14,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.concurrency import ForkSafeLock
 from repro.errors import ConfigurationError
 from repro.fixedpoint.overflow import OverflowMonitor
 from repro.fixedpoint.q15 import INT16_MAX, INT16_MIN, saturate16
@@ -78,21 +79,31 @@ class RFFTPlan:
 
 #: Process-local plan cache (see ``fftplan._PLANS`` for the contract).
 _PLANS: Dict[int, RFFTPlan] = {}
+#: Guards the build path (double-checked; see repro.concurrency).
+_PLANS_LOCK = ForkSafeLock()
 
 
 def get_rfft_plan(n: int) -> RFFTPlan:
-    """The shared :class:`RFFTPlan` for length ``n`` (built on first use)."""
+    """The shared :class:`RFFTPlan` for length ``n`` (built on first use).
+
+    Thread-safe: racing first requests build exactly once per length
+    (double-checked under the lock); the hit path stays lock-free.
+    """
     plan = _PLANS.get(n)
     if plan is None:
-        if len(_PLANS) >= 64:
-            _PLANS.clear()
-        if _obs.ENABLED:
-            _obs.count("kernels.rfft_plan.misses")
-            with _spans.span("kernels.plan_build", kind="rfft", n=int(n)):
+        with _PLANS_LOCK:
+            plan = _PLANS.get(n)
+            if plan is not None:
+                return plan
+            if len(_PLANS) >= 64:
+                _PLANS.clear()
+            if _obs.ENABLED:
+                _obs.count("kernels.rfft_plan.misses")
+                with _spans.span("kernels.plan_build", kind="rfft", n=int(n)):
+                    plan = RFFTPlan(int(n))
+            else:
                 plan = RFFTPlan(int(n))
-        else:
-            plan = RFFTPlan(int(n))
-        _PLANS[n] = plan
+            _PLANS[n] = plan
     elif _obs.ENABLED:
         _obs.count("kernels.rfft_plan.hits")
     return plan

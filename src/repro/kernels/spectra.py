@@ -25,6 +25,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.concurrency import ForkSafeLock
 from repro.obs import metrics as _obs
 
 #: Entry/byte budgets before least-recently-used eviction.  Sized for the
@@ -39,6 +40,12 @@ _CACHE: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
 _CACHE_BYTES = 0
 _HITS = 0
 _MISSES = 0
+#: One lock over lookup *and* compute: the LRU reorder on a hit mutates
+#: the OrderedDict (so even hits must hold it), and computing the FFT
+#: inside the lock guarantees exactly one transform per distinct weight
+#: tensor under racing threads.  Transforms are small (zoo layers), so
+#: the serialization window is microseconds.
+_LOCK = ForkSafeLock()
 
 
 def _fingerprint(w: np.ndarray) -> bytes:
@@ -57,40 +64,45 @@ def weight_spectra(w) -> np.ndarray:
     global _HITS, _MISSES, _CACHE_BYTES
     w = np.asarray(w, dtype=np.float64)
     key = _fingerprint(w)
-    spec = _CACHE.get(key)
-    if spec is not None:
-        _HITS += 1
+    with _LOCK:
+        spec = _CACHE.get(key)
+        if spec is not None:
+            _HITS += 1
+            if _obs.ENABLED:
+                _obs.count("kernels.spectra.hits")
+            _CACHE.move_to_end(key)
+            return spec
+        _MISSES += 1
         if _obs.ENABLED:
-            _obs.count("kernels.spectra.hits")
-        _CACHE.move_to_end(key)
+            _obs.count("kernels.spectra.misses")
+        spec = np.fft.fft(w, axis=-1)
+        spec.setflags(write=False)
+        _CACHE[key] = spec
+        _CACHE_BYTES += spec.nbytes
+        while _CACHE and (
+            len(_CACHE) > _MAX_ENTRIES or _CACHE_BYTES > _MAX_BYTES
+        ):
+            _, evicted = _CACHE.popitem(last=False)
+            _CACHE_BYTES -= evicted.nbytes
         return spec
-    _MISSES += 1
-    if _obs.ENABLED:
-        _obs.count("kernels.spectra.misses")
-    spec = np.fft.fft(w, axis=-1)
-    spec.setflags(write=False)
-    _CACHE[key] = spec
-    _CACHE_BYTES += spec.nbytes
-    while _CACHE and (len(_CACHE) > _MAX_ENTRIES or _CACHE_BYTES > _MAX_BYTES):
-        _, evicted = _CACHE.popitem(last=False)
-        _CACHE_BYTES -= evicted.nbytes
-    return spec
 
 
 def spectra_cache_stats() -> dict:
     """Hit/miss counters and current size of the spectra cache."""
-    return {
-        "entries": len(_CACHE),
-        "bytes": _CACHE_BYTES,
-        "hits": _HITS,
-        "misses": _MISSES,
-    }
+    with _LOCK:
+        return {
+            "entries": len(_CACHE),
+            "bytes": _CACHE_BYTES,
+            "hits": _HITS,
+            "misses": _MISSES,
+        }
 
 
 def clear_spectra_cache() -> None:
     """Drop all cached spectra (tests and memory-pressure escape hatch)."""
     global _HITS, _MISSES, _CACHE_BYTES
-    _CACHE.clear()
-    _CACHE_BYTES = 0
-    _HITS = 0
-    _MISSES = 0
+    with _LOCK:
+        _CACHE.clear()
+        _CACHE_BYTES = 0
+        _HITS = 0
+        _MISSES = 0

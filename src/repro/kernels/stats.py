@@ -26,7 +26,10 @@ def plan_cache_stats() -> dict:
 
 def clear_plan_caches() -> None:
     """Reset every kernel cache (plans rebuild lazily on next use)."""
-    fftplan._PLANS.clear()
-    rfftplan._PLANS.clear()
-    bcmplan._PLANS.clear()
+    with fftplan._PLANS_LOCK:
+        fftplan._PLANS.clear()
+    with rfftplan._PLANS_LOCK:
+        rfftplan._PLANS.clear()
+    with bcmplan._PLANS_LOCK:
+        bcmplan._PLANS.clear()
     clear_spectra_cache()

@@ -1,0 +1,226 @@
+"""Stdlib-only JSON/HTTP front end for :class:`StudyService`.
+
+Built on ``http.server.ThreadingHTTPServer`` — no framework, no new
+dependencies — because the API is small and the hard part (dedup,
+concurrency, bit-identity) lives below it in :mod:`repro.serve`:
+
+======  ======================  ==========================================
+verb    path                    body / response
+======  ======================  ==========================================
+POST    /jobs                   :meth:`JobSpec.to_dict` JSON in; job
+                                resource out (``202``)
+GET     /jobs                   every job resource, submission order
+GET     /jobs/<id>              one job resource (``404`` unknown)
+GET     /jobs/<id>/result       the finished table as lossless
+                                :meth:`ResultTable.to_json` (``409`` if
+                                not finished; ``?timeout=S`` waits)
+DELETE  /jobs/<id>              cancel (``409`` if already running)
+GET     /healthz                liveness + exact queue counters
+GET     /metrics                :mod:`repro.obs` snapshot JSON
+======  ======================  ==========================================
+
+Error responses are JSON ``{"error": ..., "type": ...}`` with the repro
+exception class name, so clients can distinguish a bad spec (400) from
+a closed service (503) from an execution failure (500) without parsing
+prose.  The result endpoint streams the *exact* ``to_json`` bytes —
+two clients fetching a deduped job get byte-equal payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ConfigurationError, ReproError, ServiceClosedError
+from repro.serve.queue import CANCELLED, DONE, FAILED, JobSpec
+from repro.serve.service import StudyService
+
+#: Cap on ?timeout= waits so a client cannot pin a server thread forever.
+MAX_WAIT_S = 300.0
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """One HTTP listener bound to one :class:`StudyService`."""
+
+    daemon_threads = True
+
+    def __init__(self, service: StudyService, address: Tuple[str, int]):
+        self.service = service
+        super().__init__(address, _Handler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Quiet by default; the CLI flips this for interactive serving.
+    log_to_stderr = False
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt: str, *args) -> None:  # pragma: no cover
+        if self.log_to_stderr:
+            super().log_message(fmt, *args)
+
+    @property
+    def service(self) -> StudyService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _send_json(self, status: int, payload) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(status, body)
+
+    def _send_bytes(
+        self, status: int, body: bytes,
+        content_type: str = "application/json",
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, exc: Exception) -> None:
+        self._send_json(
+            status, {"error": str(exc), "type": type(exc).__name__}
+        )
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ConfigurationError("request body must be a JSON object")
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise ConfigurationError(f"bad JSON body: {exc}")
+
+    # -- routes ---------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlparse(self.path).path
+        if path != "/jobs":
+            self._send_json(404, {"error": f"no such route: POST {path}"})
+            return
+        try:
+            spec = JobSpec.from_dict(self._read_body())
+            job = self.service.submit(spec)
+        except ServiceClosedError as exc:
+            self._send_error_json(503, exc)
+            return
+        except ReproError as exc:
+            self._send_error_json(400, exc)
+            return
+        self._send_json(202, job.to_dict())
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        if parsed.path == "/healthz":
+            self._send_json(
+                200, {"ok": True, "counters": self.service.counters()}
+            )
+        elif parsed.path == "/metrics":
+            self._send_json(200, self.service.metrics())
+        elif parsed.path == "/jobs":
+            self._send_json(
+                200, {"jobs": [j.to_dict() for j in self.service.jobs()]}
+            )
+        elif len(parts) == 2 and parts[0] == "jobs":
+            try:
+                job = self.service.job(parts[1])
+            except ConfigurationError as exc:
+                self._send_error_json(404, exc)
+                return
+            self._send_json(200, job.to_dict())
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            self._get_result(parts[1], parsed.query)
+        else:
+            self._send_json(
+                404, {"error": f"no such route: GET {parsed.path}"}
+            )
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        if len(parts) != 2 or parts[0] != "jobs":
+            self._send_json(404, {"error": "no such route"})
+            return
+        try:
+            job = self.service.job(parts[1])
+        except ConfigurationError as exc:
+            self._send_error_json(404, exc)
+            return
+        if self.service.cancel(job.id):
+            self._send_json(200, job.to_dict())
+        else:
+            self._send_json(
+                409,
+                {"error": f"job {job.id} is {job.state}; too late to cancel",
+                 "type": "ConfigurationError"},
+            )
+
+    def _get_result(self, job_id: str, query: str) -> None:
+        try:
+            job = self.service.job(job_id)
+        except ConfigurationError as exc:
+            self._send_error_json(404, exc)
+            return
+        wait_s: Optional[float] = None
+        params = parse_qs(query)
+        if "timeout" in params:
+            try:
+                wait_s = min(float(params["timeout"][0]), MAX_WAIT_S)
+            except ValueError:
+                self._send_json(400, {"error": "timeout must be a number"})
+                return
+        if wait_s is not None:
+            job.wait(wait_s)
+        if job.state == DONE:
+            self._send_bytes(200, job.table.to_json().encode("utf-8"))
+        elif job.state == FAILED:
+            self._send_json(
+                500,
+                {"error": job.error, "type": "JobFailedError", "id": job.id},
+            )
+        elif job.state == CANCELLED:
+            self._send_json(
+                410,
+                {"error": f"job {job.id} was cancelled",
+                 "type": "JobFailedError", "id": job.id},
+            )
+        else:
+            self._send_json(
+                409,
+                {"error": f"job {job.id} is {job.state}; result not ready",
+                 "type": "ConfigurationError", "id": job.id,
+                 "state": job.state},
+            )
+
+
+def serve_http(
+    service: StudyService, host: str = "127.0.0.1", port: int = 0,
+    *, log: bool = False,
+) -> ServiceHTTPServer:
+    """Bind a server (``port=0`` = ephemeral) and serve on a thread.
+
+    Returns the running server; call ``.shutdown()`` then
+    ``service.close()`` to stop.  The serving thread is a daemon, so an
+    exiting process never hangs on it.
+    """
+    server = ServiceHTTPServer(service, (host, port))
+    _Handler.log_to_stderr = log
+    thread = threading.Thread(
+        target=server.serve_forever, name="serve-http", daemon=True
+    )
+    thread.start()
+    return server

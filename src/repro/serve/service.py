@@ -1,0 +1,211 @@
+"""The study service: concurrent ``run_study`` over shared caches.
+
+:class:`StudyService` glues the dedup queue to the execution stack:
+
+* one shared :class:`~repro.fleet.cache.ModelCache` across every job,
+  so concurrent fleet-executed studies prepare each distinct model once
+  (the cache's per-key build locks make racing first requests build
+  exactly once, and its per-key *execution* locks keep two jobs from
+  running scenarios on the same cached model at the same time);
+* one optional :class:`~repro.store.cache.ResultStore`, giving jobs
+  durable per-scenario resume and a finished-table archive — a service
+  restarted over the same store serves archived tables without
+  executing anything;
+* an in-memory LRU of finished tables keyed by the same content
+  address the store uses, which is what makes *resubmitting* a
+  completed spec a dedup hit rather than a rerun.
+
+Execution is plain :func:`~repro.study.core.run_study` on a worker
+thread — the same function the CLI and tests call — so a table served
+concurrently is bit-identical to a serial run of the same spec.  Jobs
+with ``timeout_s`` run on a helper thread; on expiry the job fails
+with a captured timeout traceback and the abandoned execution's result
+is discarded (never cached, never published).
+
+Shutdown (:meth:`close`) stops intake (further submits raise
+:class:`~repro.errors.ServiceClosedError`), drains or cancels the
+queue, and flushes the store — completed work is durable before
+``close`` returns.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError, JobFailedError
+from repro.fleet.cache import ModelCache
+from repro.obs import metrics as _obs
+from repro.serve.queue import DONE, FAILED, Job, JobQueue, JobSpec
+from repro.study.table import ResultTable
+
+
+class StudyService:
+    """Concurrent study executor with dedup (see module docstring).
+
+    ``workers`` bounds concurrent executions (each may itself fan out a
+    fleet pool — size the two levels together).  ``store`` attaches a
+    durable :class:`~repro.store.cache.ResultStore`; ``table_cache``
+    bounds the in-memory finished-table LRU (0 disables it, leaving
+    only in-flight coalescing and the store's archive).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        store=None,
+        table_cache: int = 64,
+    ) -> None:
+        if table_cache < 0:
+            raise ConfigurationError("table_cache must be >= 0")
+        self.store = store
+        self.model_cache = ModelCache()
+        self._table_cache_size = table_cache
+        #: key -> finished ResultTable; touched only under the queue
+        #: lock (the lookup/publish callbacks run with it held).
+        self._tables: "OrderedDict[str, ResultTable]" = OrderedDict()
+        self.queue = JobQueue(
+            self._execute,
+            workers=workers,
+            lookup=self._cache_lookup,
+            publish=self._cache_publish,
+        )
+
+    # -- public API -----------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Validate and enqueue one job (see :meth:`JobQueue.submit`)."""
+        return self.queue.submit(spec)
+
+    def job(self, job_id: str) -> Job:
+        return self.queue.job(job_id)
+
+    def jobs(self) -> List[Job]:
+        return self.queue.jobs()
+
+    def cancel(self, job_id: str) -> bool:
+        return self.queue.cancel(job_id)
+
+    def result(
+        self, job_id: str, *, timeout: Optional[float] = None
+    ) -> ResultTable:
+        """The finished table for ``job_id``, waiting for it if needed.
+
+        Raises :class:`~repro.errors.JobFailedError` for failed or
+        cancelled jobs (carrying the captured traceback), and
+        :class:`~repro.errors.ConfigurationError` when the wait times
+        out — the job itself keeps running.
+        """
+        job = self.queue.job(job_id)
+        if not job.wait(timeout):
+            raise ConfigurationError(
+                f"job {job_id} still {job.state} after {timeout}s"
+            )
+        if job.state == DONE:
+            return job.table
+        if job.state == FAILED:
+            raise JobFailedError(job_id, job.error or "unknown failure")
+        raise JobFailedError(job_id, "job was cancelled")
+
+    def run(self, spec: JobSpec, *, timeout: Optional[float] = None):
+        """Submit and wait: the blocking one-call convenience."""
+        return self.result(self.submit(spec).id, timeout=timeout)
+
+    def counters(self) -> dict:
+        return self.queue.counters()
+
+    def metrics(self) -> dict:
+        """A :mod:`repro.obs` snapshot (schema-valid even when off)."""
+        return _obs.snapshot()
+
+    def close(
+        self, *, drain: bool = True, timeout: Optional[float] = None
+    ) -> None:
+        """Stop intake, drain (or cancel) the queue, flush the store."""
+        self.queue.close(drain=drain, timeout=timeout)
+        if self.store is not None:
+            self.store.flush()
+
+    def __enter__(self) -> "StudyService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- queue callbacks (run under the queue lock) ---------------------------
+
+    def _cache_lookup(self, key: str) -> Optional[ResultTable]:
+        table = self._tables.get(key)
+        if table is not None:
+            self._tables.move_to_end(key)
+        return table
+
+    def _cache_publish(self, key: str, table: ResultTable) -> None:
+        if self._table_cache_size == 0:
+            return
+        self._tables[key] = table
+        self._tables.move_to_end(key)
+        while len(self._tables) > self._table_cache_size:
+            self._tables.popitem(last=False)
+
+    # -- execution (worker threads) -------------------------------------------
+
+    def _run_study(self, job: Job) -> Tuple[ResultTable, bool, bool]:
+        from repro.study.core import run_study
+
+        spec = job.spec
+        kwargs = dict(
+            engine=spec.engine,
+            profile=spec.profile,
+            store=self.store,
+        )
+        from repro.study.core import get_study
+
+        if get_study(spec.study).fleet_executed:
+            # Execution options only exist for fleet-executed studies
+            # (check_study_options rejected them otherwise).
+            kwargs.update(
+                workers=spec.workers,
+                parallel=spec.parallel,
+                on_error=spec.on_error,
+                cache=self.model_cache,
+            )
+        run = run_study(spec.study, **kwargs)
+        failures = run.report.failures if run.report is not None else 0
+        # A table carrying recorded failures (on_error="record") must
+        # not be served to later submitters as the study's answer.
+        cacheable = failures == 0
+        return run.table, run.from_table_cache, cacheable
+
+    def _execute(self, job: Job) -> Tuple[ResultTable, bool, bool]:
+        spec = job.spec
+        if spec.timeout_s is None:
+            return self._run_study(job)
+        outcome: dict = {}
+
+        def _target() -> None:
+            try:
+                outcome["value"] = self._run_study(job)
+            except BaseException as exc:  # delivered to the waiter below
+                outcome["error"] = exc
+
+        helper = threading.Thread(
+            target=_target, name=f"{job.id}-exec", daemon=True
+        )
+        helper.start()
+        helper.join(spec.timeout_s)
+        if helper.is_alive():
+            # The execution is abandoned (threads are not preemptible);
+            # its eventual result lands in `outcome` and is discarded —
+            # in particular it is never published to the table cache.
+            if _obs.ENABLED:
+                _obs.count("serve.jobs_timed_out")
+            raise TimeoutError(
+                f"job {job.id} ({spec.study}) exceeded its "
+                f"{spec.timeout_s}s timeout"
+            )
+        if "error" in outcome:
+            raise outcome["error"]
+        return outcome["value"]

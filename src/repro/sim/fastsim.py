@@ -52,6 +52,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.concurrency import ForkSafeLock
 from repro.errors import ConfigurationError, InferenceAborted
 from repro.hw import constants as C
 from repro.hw.energymeter import EnergyMeter
@@ -621,6 +622,10 @@ class ProgramCache:
         self._programs: Dict[Tuple, CompiledProgram] = {}
         self.hits = 0
         self.misses = 0
+        # Double-checked build path: hit lookups stay lock-free; racing
+        # first requests compile exactly once per key (see
+        # repro.concurrency for the convention).
+        self._lock = ForkSafeLock()
 
     def __len__(self) -> int:
         return len(self._programs)
@@ -648,19 +653,27 @@ class ProgramCache:
             if _obs.ENABLED:
                 _obs.count("sim.program_cache.hits")
             return program
-        self.misses += 1
-        if _obs.ENABLED:
-            _obs.count("sim.program_cache.misses")
-            with _spans.span("sim.program.compile", runtime=runtime.name):
+        with self._lock:
+            program = self._programs.get(key)
+            if program is not None:
+                self.hits += 1
+                if _obs.ENABLED:
+                    _obs.count("sim.program_cache.hits")
+                return program
+            self.misses += 1
+            if _obs.ENABLED:
+                _obs.count("sim.program_cache.misses")
+                with _spans.span("sim.program.compile",
+                                 runtime=runtime.name):
+                    program = compile_program(runtime)
+            else:
                 program = compile_program(runtime)
-        else:
-            program = compile_program(runtime)
-        self._programs[key] = program
-        try:
-            weakref.finalize(anchor, self._programs.pop, key, None)
-        except TypeError:  # pragma: no cover - non-weakref-able anchor
-            pass
-        return program
+            self._programs[key] = program
+            try:
+                weakref.finalize(anchor, self._programs.pop, key, None)
+            except TypeError:  # pragma: no cover - non-weakref-able anchor
+                pass
+            return program
 
     def summary(self) -> str:
         return (

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from repro import __version__
+from repro.concurrency import ForkSafeLock
 from repro.errors import ConfigurationError
 from repro.fleet.report import ScenarioResult
 from repro.obs import metrics as _obs
@@ -123,6 +124,10 @@ class ResultStore:
         self.misses = 0
         self.table_hits = 0
         self.table_misses = 0
+        # Guards the in-memory index and the counters; the ShardStore
+        # has its own lock for the disk side.  RLock because put() holds
+        # it across an append that may flush (spans re-enter via obs).
+        self._lock = ForkSafeLock(rlock=True)
 
     # -- scenario records -----------------------------------------------------
 
@@ -139,16 +144,17 @@ class ResultStore:
 
     def lookup(self, key: str) -> Optional[str]:
         """The stored payload for ``key``, counting hit or miss."""
-        payload = self._index.get(key)
-        if payload is None:
-            self.misses += 1
-            if _obs.ENABLED:
-                _obs.count("store.scenario.misses")
-        else:
-            self.hits += 1
-            if _obs.ENABLED:
-                _obs.count("store.scenario.hits")
-        return payload
+        with self._lock:
+            payload = self._index.get(key)
+            if payload is None:
+                self.misses += 1
+                if _obs.ENABLED:
+                    _obs.count("store.scenario.misses")
+            else:
+                self.hits += 1
+                if _obs.ENABLED:
+                    _obs.count("store.scenario.hits")
+            return payload
 
     def put(self, key: str, result: ScenarioResult, *, engine: str = "") -> None:
         """Record one finished scenario (buffered; see :meth:`flush`).
@@ -156,25 +162,27 @@ class ResultStore:
         Failed results are rejected — caching a failure would serve it as
         a hit forever instead of retrying the scenario.  ``engine`` is
         recorded alongside the payload for human inspection; the key
-        already encodes it.
+        already encodes it.  Thread-safe: concurrent puts of the same
+        key write one record (the index check and append are atomic).
         """
         if result.error:
             raise ConfigurationError(
                 f"refusing to cache failed scenario {result.scenario.name!r}: "
                 f"{result.error}"
             )
-        if key in self._index:
-            return
-        payload = encode_result(result)
-        self._shards.append(
-            key=key,
-            scenario=result.scenario.name,
-            engine=engine,
-            payload=payload,
-        )
-        self._index[key] = payload
-        if _obs.ENABLED:
-            _obs.count("store.puts")
+        with self._lock:
+            if key in self._index:
+                return
+            payload = encode_result(result)
+            self._shards.append(
+                key=key,
+                scenario=result.scenario.name,
+                engine=engine,
+                payload=payload,
+            )
+            self._index[key] = payload
+            if _obs.ENABLED:
+                _obs.count("store.puts")
 
     def flush(self) -> None:
         """Commit buffered records as a shard (durable after this call)."""
@@ -189,11 +197,13 @@ class ResultStore:
         """The finished table stored under ``key``, or ``None``."""
         path = self._table_path(key)
         if not path.is_file():
-            self.table_misses += 1
+            with self._lock:
+                self.table_misses += 1
             if _obs.ENABLED:
                 _obs.count("store.table.misses")
             return None
-        self.table_hits += 1
+        with self._lock:
+            self.table_hits += 1
         if _obs.ENABLED:
             _obs.count("store.table.hits")
         return ResultTable.from_npz(str(path))

@@ -45,6 +45,7 @@ import os
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence
 
+from repro.concurrency import ForkSafeLock
 from repro.errors import ConfigurationError
 from repro.obs import metrics as _obs
 from repro.obs import spans as _spans
@@ -96,6 +97,11 @@ class ShardStore:
             raise ConfigurationError("shard_rows must be >= 1")
         self.root = Path(root)
         self.shard_rows = shard_rows
+        # One reentrant lock over the pending buffer and shard index:
+        # append() nests into flush() at the auto-commit threshold, and
+        # concurrent service jobs append through one store.  Cross-
+        # *process* coordination is out of scope (one writer per store).
+        self._lock = ForkSafeLock(rlock=True)
         self._shard_dir = self.root / SHARD_DIR
         self._manifest_path = self.root / MANIFEST_NAME
         #: Shard entries dropped by torn-tail recovery on open (names).
@@ -206,10 +212,17 @@ class ShardStore:
         return len(self._shards)
 
     def append(self, **row: object) -> None:
-        """Buffer one row; auto-commits a shard every ``shard_rows``."""
-        self._pending.append(**row)
-        if len(self._pending) >= self.shard_rows:
-            self.flush()
+        """Buffer one row; auto-commits a shard every ``shard_rows``.
+
+        Thread-safe: concurrent appenders interleave rows atomically (a
+        row is never torn across shards) and the auto-flush threshold is
+        checked under the same lock, so exactly one appender commits
+        each full shard.
+        """
+        with self._lock:
+            self._pending.append(**row)
+            if len(self._pending) >= self.shard_rows:
+                self.flush()
 
     def flush(self) -> None:
         """Commit the pending buffer as one new shard (no-op when empty).
@@ -219,33 +232,41 @@ class ShardStore:
         recovery ignores it and the rows are re-simulated, never
         double-counted.
         """
-        if not len(self._pending):
-            return
-        rows = len(self._pending)
-        with _spans.span("store.shard.flush", rows=rows):
-            name = f"shard-{len(self._shards):06d}.npz"
-            path = self._shard_dir / name
-            tmp = self._shard_dir / (name + ".tmp")
-            with open(tmp, "wb") as fh:
-                self._pending.to_npz(fh)
-                fh.flush()
-                os.fsync(fh.fileno())
-            digest = _digest_file(tmp)
-            os.replace(tmp, path)
-            self._shards.append(
-                {"name": name, "rows": rows, "blake2b": digest}
-            )
-            self._write_manifest()
-            self._pending = self._new_table()
-        if _obs.ENABLED:
-            _obs.count("store.shard.flushes")
-            _obs.count("store.shard.rows", rows)
+        with self._lock:
+            if not len(self._pending):
+                return
+            rows = len(self._pending)
+            with _spans.span("store.shard.flush", rows=rows):
+                name = f"shard-{len(self._shards):06d}.npz"
+                path = self._shard_dir / name
+                tmp = self._shard_dir / (name + ".tmp")
+                with open(tmp, "wb") as fh:
+                    self._pending.to_npz(fh)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                digest = _digest_file(tmp)
+                os.replace(tmp, path)
+                self._shards.append(
+                    {"name": name, "rows": rows, "blake2b": digest}
+                )
+                self._write_manifest()
+                self._pending = self._new_table()
+            if _obs.ENABLED:
+                _obs.count("store.shard.flushes")
+                _obs.count("store.shard.rows", rows)
 
     # -- reading --------------------------------------------------------------
 
     def iter_rows(self) -> Iterator[Dict[str, object]]:
-        """Committed rows in commit order, one shard in memory at a time."""
-        for entry in self._shards:
+        """Committed rows in commit order, one shard in memory at a time.
+
+        Reads a snapshot of the shard index taken at call time; shards
+        committed while iterating are not included (committed shards are
+        immutable, so everything yielded is consistent).
+        """
+        with self._lock:
+            entries = list(self._shards)
+        for entry in entries:
             shard = ResultTable.from_npz(str(self._shard_dir / entry["name"]))
             if len(shard) != entry["rows"]:
                 raise ConfigurationError(

@@ -32,6 +32,7 @@ from repro.study.core import (
     Study,
     StudyContext,
     StudyRun,
+    check_study_options,
     get_study,
     register,
     run_study,
@@ -48,6 +49,7 @@ __all__ = [
     "Study",
     "StudyContext",
     "StudyRun",
+    "check_study_options",
     "get_study",
     "register",
     "run_study",

@@ -200,50 +200,40 @@ class StudyRun:
     cache: Optional["ModelCache"] = None
     store: Optional["ResultStore"] = None
     obs: Optional[dict] = None
+    #: True when the finished table was served from the store's archive
+    #: (nothing was executed; ``report``/``cache`` are ``None``).
+    from_table_cache: bool = False
 
     def render(self) -> str:
         return self.study.render(self.table)
 
 
-def run_study(
+def check_study_options(
     name: str,
     *,
     engine: str = "reference",
     workers: Optional[int] = None,
     parallel: bool = True,
     profile: Optional[Profile] = None,
-    store: Optional["ResultStore"] = None,
     on_error: str = "raise",
-) -> StudyRun:
-    """Execute a registered study and return its table (plus metadata).
+    cache: Optional["ModelCache"] = None,
+) -> Tuple[Study, Profile]:
+    """Validate one :func:`run_study` option set without executing it.
 
-    Fleet-executed studies run their scenarios through
-    :class:`~repro.fleet.runner.FleetRunner` (``engine``/``workers``/
-    ``parallel`` map directly); direct studies receive the context and
-    may thread ``engine`` into their own machines.  Either way the
-    result is a :class:`ResultTable` stamped with the study name —
-    and for a given spec it is bit-identical across engines and worker
-    counts (the fleet determinism contract).
-
-    ``store`` (a :class:`~repro.store.cache.ResultStore`) makes the run
-    durable and resumable.  A finished table whose content address
-    (study + profile + engine + code version) is already archived is
-    returned without executing anything; otherwise a fleet-executed
-    study streams per-scenario results through the store — replaying the
-    cells a previous (possibly killed) run already finished and
-    simulating only the missing ones — and the finished table is
-    archived afterwards, *unless* any scenario failed (a partial table
-    must never be served as the study's answer).  ``on_error`` is the
-    fleet failure policy (see :meth:`FleetRunner.run`); it requires a
-    fleet-executed study, since a direct study has no per-scenario
-    boundary to record failures at.
+    Returns the resolved ``(study, profile)`` pair (``profile=None``
+    normalizes to the default :class:`Profile`), raising
+    :class:`~repro.errors.ConfigurationError` on anything
+    :func:`run_study` would reject.  The service layer
+    (:mod:`repro.serve`) runs this at *submit* time so a bad job fails
+    the submission synchronously instead of occupying a worker.
 
     An option the study cannot interpret is rejected, not dropped: a
-    profile field outside :attr:`Study.params` must stay at its default,
-    ``workers``/``parallel``/``on_error`` only apply to fleet-executed
-    studies, and a non-reference ``engine`` needs an engine-aware study.
-    (Silently ignoring ``--task har`` on a study that never reads tasks
-    would print results the caller believes are HAR's.)
+    profile field outside :attr:`Study.params` must stay at its default;
+    ``workers``/``parallel``/``on_error``/``cache`` only apply to
+    fleet-executed studies; a non-reference ``engine`` needs an
+    engine-aware study.  (Silently ignoring ``--task har`` on a study
+    that never reads tasks would print results the caller believes are
+    HAR's.)
     """
     study = get_study(name)
     profile = profile if profile is not None else Profile()
@@ -291,6 +281,58 @@ def run_study(
                 "on_error='record' would be silently ignored "
                 "(a direct study has no per-scenario failure boundary)"
             )
+        if cache is not None:
+            raise ConfigurationError(
+                f"study {study.name!r} is not fleet-executed; "
+                "a shared model cache would be silently ignored"
+            )
+    return study, profile
+
+
+def run_study(
+    name: str,
+    *,
+    engine: str = "reference",
+    workers: Optional[int] = None,
+    parallel: bool = True,
+    profile: Optional[Profile] = None,
+    store: Optional["ResultStore"] = None,
+    on_error: str = "raise",
+    cache: Optional["ModelCache"] = None,
+) -> StudyRun:
+    """Execute a registered study and return its table (plus metadata).
+
+    Fleet-executed studies run their scenarios through
+    :class:`~repro.fleet.runner.FleetRunner` (``engine``/``workers``/
+    ``parallel`` map directly); direct studies receive the context and
+    may thread ``engine`` into their own machines.  Either way the
+    result is a :class:`ResultTable` stamped with the study name —
+    and for a given spec it is bit-identical across engines and worker
+    counts (the fleet determinism contract).
+
+    ``store`` (a :class:`~repro.store.cache.ResultStore`) makes the run
+    durable and resumable.  A finished table whose content address
+    (study + profile + engine + code version) is already archived is
+    returned without executing anything; otherwise a fleet-executed
+    study streams per-scenario results through the store — replaying the
+    cells a previous (possibly killed) run already finished and
+    simulating only the missing ones — and the finished table is
+    archived afterwards, *unless* any scenario failed (a partial table
+    must never be served as the study's answer).  ``on_error`` is the
+    fleet failure policy (see :meth:`FleetRunner.run`); it requires a
+    fleet-executed study, since a direct study has no per-scenario
+    boundary to record failures at.
+
+    ``cache`` supplies a shared :class:`~repro.fleet.cache.ModelCache`
+    for fleet-executed studies — the service layer passes one cache
+    across every job so concurrent runs share prepared models.  An
+    option the study cannot interpret is rejected, not dropped (see
+    :func:`check_study_options`, which holds the validation).
+    """
+    study, profile = check_study_options(
+        name, engine=engine, workers=workers, parallel=parallel,
+        profile=profile, on_error=on_error, cache=cache,
+    )
     table_key = None
     if store is not None:
         from repro.store.cache import study_table_key
@@ -301,6 +343,7 @@ def run_study(
             return StudyRun(
                 study, archived, store=store,
                 obs=_obs.snapshot() if _obs.ENABLED else None,
+                from_table_cache=True,
             )
     ctx = StudyContext(
         profile=profile,
@@ -311,7 +354,8 @@ def run_study(
     if study.fleet_executed:
         from repro.fleet.runner import FleetRunner
 
-        runner = FleetRunner(workers, parallel=parallel, engine=engine)
+        runner = FleetRunner(workers, parallel=parallel, engine=engine,
+                             cache=cache)
         report = runner.run(study.scenarios(ctx), store=store,
                             on_error=on_error)
         table = study.collect(report, ctx, runner.cache)
