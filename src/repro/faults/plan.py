@@ -1,0 +1,157 @@
+"""Frozen fault specifications: what fires, where, and when.
+
+A :class:`FaultRule` names one fault site, the kind of failure to
+inject there, and a deterministic trigger — either the exact nth call
+to the site or a seeded Bernoulli draw per call.  A :class:`FaultPlan`
+is a tuple of rules: frozen, hashable, JSON round-trippable, and small
+enough to travel through an environment variable into forked pool
+workers (see :mod:`repro.faults.inject`).
+
+Determinism is the point: the same plan installed twice fires at the
+same calls, so a chaos test is a *test*, not a dice roll — and the
+recovery it exercises can be asserted bit-identical to a clean run.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+from dataclasses import dataclass, field, fields
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Every named injection point in the codebase.  A rule naming anything
+#: else is rejected at construction — a typo'd site would otherwise be
+#: a chaos test that silently tests nothing.
+SITES = (
+    "store.flush",
+    "fleet.worker",
+    "fleet.model_build",
+    "serve.execute",
+    "serve.http",
+)
+
+#: Failure kinds a rule can inject (see :func:`repro.faults.inject.fire`).
+KINDS = ("exception", "crash", "delay", "torn_write")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic fault: site + kind + trigger.
+
+    Exactly one trigger must be set: ``nth`` (1-based — fire on exactly
+    that call to the site) or ``probability`` (a per-call Bernoulli
+    draw from a :class:`random.Random` seeded with ``seed``, so the
+    fire pattern is a pure function of the rule).  ``times`` caps the
+    total fires (default 1; ``None`` = unlimited — the usual choice
+    for ``probability=1.0`` always-fire rules).  ``errno_code`` travels
+    on injected exceptions and defaults to ``ENOSPC``, the canonical
+    transient disk fault.
+    """
+
+    site: str
+    kind: str
+    nth: Optional[int] = None
+    probability: float = 0.0
+    seed: int = 0
+    times: Optional[int] = 1
+    delay_s: float = 0.01
+    errno_code: int = errno.ENOSPC
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r} (expected one of {SITES})"
+            )
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r} (expected one of {KINDS})"
+            )
+        has_nth = self.nth is not None
+        has_prob = self.probability > 0.0
+        if has_nth == has_prob:
+            raise ConfigurationError(
+                "a fault rule needs exactly one trigger: nth=N or "
+                "probability>0"
+            )
+        if has_nth and self.nth < 1:
+            raise ConfigurationError("nth is 1-based and must be >= 1")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError("probability must be in [0, 1]")
+        if self.times is not None and self.times < 1:
+            raise ConfigurationError("times must be >= 1 (or None)")
+        if self.delay_s <= 0:
+            raise ConfigurationError("delay_s must be positive")
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "nth": self.nth,
+            "probability": self.probability,
+            "seed": self.seed,
+            "times": self.times,
+            "delay_s": self.delay_s,
+            "errno_code": self.errno_code,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultRule":
+        if not isinstance(payload, dict):
+            raise ConfigurationError("fault rule must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault rule field(s): {', '.join(sorted(unknown))}"
+            )
+        if "site" not in payload or "kind" not in payload:
+            raise ConfigurationError("fault rule needs 'site' and 'kind'")
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ConfigurationError(f"bad fault rule: {exc}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered tuple of :class:`FaultRule`\\ s (possibly empty)."""
+
+    rules: Tuple[FaultRule, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise ConfigurationError(
+                    f"plan rules must be FaultRule, got {type(rule).__name__}"
+                )
+
+    def to_dict(self) -> dict:
+        return {"rules": [r.to_dict() for r in self.rules]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ConfigurationError("fault plan must be a JSON object")
+        unknown = set(payload) - {"rules"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault plan field(s): {', '.join(sorted(unknown))}"
+            )
+        rules = payload.get("rules", [])
+        if not isinstance(rules, (list, tuple)):
+            raise ConfigurationError("fault plan 'rules' must be a list")
+        return cls(rules=tuple(FaultRule.from_dict(r) for r in rules))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ConfigurationError(f"bad fault plan JSON: {exc}")
+        return cls.from_dict(payload)

@@ -36,6 +36,10 @@ class ScenarioResult:
     of finishing: the runner records a DNF-style failure row (empty
     stats, no labels) carrying the exception summary, so one broken cell
     is data in the report rather than the death of the whole fleet.
+    ``error_kind`` types the failure: ``"exception"`` for failures the
+    execution itself raised, ``"worker_lost"`` when the worker process
+    died (SIGKILL/OOM) past the supervisor's retry budget; empty for
+    successful scenarios.
     """
 
     scenario: Scenario
@@ -43,6 +47,7 @@ class ScenarioResult:
     labels: Tuple[int, ...] = ()
     overflow_events: int = 0
     error: str = ""
+    error_kind: str = ""
 
     @property
     def accuracy(self) -> float:
@@ -175,6 +180,7 @@ class FleetReport:
         ("accuracy", "float"),
         ("overflow_events", "int"),
         ("error", "str"),
+        ("error_kind", "str"),
     )
 
     def scenario_table(self) -> "ResultTable":
@@ -205,6 +211,7 @@ class FleetReport:
                 accuracy=r.accuracy,
                 overflow_events=r.overflow_events,
                 error=r.error,
+                error_kind=r.error_kind,
             )
         return table
 

@@ -13,8 +13,8 @@ instance, and sample stream — so a fleet is embarrassingly parallel.
    function the serial path uses — so parallel results are bit-identical
    to serial results for the same specs.
 
-Execution is *streaming*: results come back through ``imap_unordered``
-and are committed one at a time — to a durable
+Execution is *streaming*: results come back through per-worker reply
+pipes and are committed one at a time — to a durable
 :class:`~repro.store.cache.ResultStore` when one is attached — then
 reassembled into input order at the end.  A scenario that raises is
 captured in its worker and returned as a DNF-style failure record
@@ -23,6 +23,24 @@ running with the failure as an error row, ``on_error="raise"`` (the
 default) stops at the first failure with a
 :class:`~repro.errors.ScenarioExecutionError` — but either way the
 results committed before it are already safe in the store.
+
+The pool is *supervised* rather than a bare ``multiprocessing.Pool``:
+the parent dispatches exactly one scenario per worker at a time and
+each worker answers on its own pipe, so a worker killed mid-scenario
+(OOM killer, SIGKILL, a ``crash`` fault from :mod:`repro.faults`) is
+detected as EOF on its pipe, its in-flight scenario is re-dispatched
+under a bounded deterministic
+:class:`~repro.faults.retry.RetryPolicy`, and the dead worker is
+respawned.  (A *shared* result queue would be fatal here: SIGKILL can
+orphan the queue's write lock and wedge every surviving worker — with
+one pipe per worker a death can only ever corrupt the dead worker's
+own channel, which the parent was about to discard anyway.)  A scenario that exhausts its retry budget becomes
+a :class:`~repro.errors.WorkerLostError` (``error_kind="worker_lost"``
+as an error row under ``on_error="record"``); a pool that keeps
+collapsing past its respawn budget degrades to serial execution in the
+parent with a warning.  Because scenario execution is deterministic, a
+retried scenario's result is bit-identical to what the lost attempt
+would have produced — recovery never changes a single output bit.
 
 Determinism holds because every source of randomness is seeded from the
 scenario itself (dataset stream from ``seed``, model from ``model_seed``,
@@ -35,12 +53,21 @@ result replayed from a store is bit-identical to re-simulating it.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
 import time
 import traceback
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import warnings
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError, ScenarioExecutionError
+from repro.errors import (
+    ConfigurationError,
+    ScenarioExecutionError,
+    WorkerLostError,
+)
+from repro.faults import inject as _inject
+from repro.faults.retry import RetryPolicy, call_with_retry
 from repro.fleet.cache import ModelCache
 from repro.fleet.report import FleetReport, ScenarioResult
 from repro.fleet.scenario import Scenario
@@ -51,6 +78,14 @@ from repro.rad.quantize import QuantizedModel
 
 #: Accepted failure policies (see :meth:`FleetRunner.run`).
 ON_ERROR = ("raise", "record")
+
+#: Supervisor poll interval: how often an idle parent checks liveness.
+_POLL_S = 0.05
+#: Graceful/forced shutdown budget per escalation step (the watchdog).
+_JOIN_S = 5.0
+#: Cap on the pre-respawn backoff so one crashy worker cannot stall the
+#: supervisor loop (and the other workers' result handling) for long.
+_RESPAWN_SLEEP_CAP_S = 0.5
 
 
 def execute_scenario(
@@ -98,8 +133,15 @@ def execute_scenario(
                           overflow_events=qmodel.monitor.total)
 
 
-def _failure_result(scenario: Scenario, exc: BaseException) -> ScenarioResult:
-    """A DNF-style error record for a scenario whose execution raised."""
+def _failure_result(
+    scenario: Scenario, exc: BaseException, kind: str = "exception"
+) -> ScenarioResult:
+    """A DNF-style error record for a scenario whose execution raised.
+
+    ``kind`` lands in :attr:`ScenarioResult.error_kind`: ``"exception"``
+    for failures the scenario's own execution raised, ``"worker_lost"``
+    for scenarios whose worker process died past the retry budget.
+    """
     from repro.sim.session import SessionStats
 
     summary = "".join(
@@ -110,6 +152,7 @@ def _failure_result(scenario: Scenario, exc: BaseException) -> ScenarioResult:
         stats=SessionStats(runtime=scenario.runtime, results=[]),
         labels=(),
         error=summary,
+        error_kind=kind,
     )
 
 
@@ -165,22 +208,66 @@ def _init_worker(
         _obs.disable()
 
 
-def _run_in_worker(item: Tuple[int, Scenario]):
-    """Pool task: ``(input index, scenario) -> (index, result, obs)``.
+def _supervised_worker(uid, inq, conn, models, engine, obs_on, plan):
+    """One supervised worker process: loop ``inq`` tasks until sentinel.
 
-    The index rides along so the parent can reassemble ``imap_unordered``
-    output into input order without trusting arrival order.  The third
-    element is this worker's *cumulative* metrics snapshot (``None`` when
-    observability is off); the parent keeps the highest-``seq`` snapshot
-    per worker pid and merges them, so per-task snapshots are cheap to
-    take and the fold is deterministic regardless of arrival order.
+    Tasks are ``(input index, scenario)``; each reply on this worker's
+    own ``conn`` pipe is ``(worker uid, index, result, obs
+    snapshot-or-None)``.  ``Connection.send`` writes synchronously in
+    this thread — no feeder thread, no lock shared with other workers —
+    so by the time the worker reads its next task the previous reply is
+    fully in the pipe, and a SIGKILL can never tear a message another
+    worker (or the parent) depends on.  The index rides along so the
+    parent can reassemble unordered arrivals into input order; the uid
+    (stable across the worker's lifetime, unique across respawns —
+    unlike a reused pid) tells the parent whose in-flight slot to clear
+    and whose *cumulative* metrics snapshot to keep (highest ``seq``
+    per uid, merged deterministically at the end).
+
+    ``plan`` re-installs the parent's active fault plan with fresh
+    per-rule state, so each worker's fire pattern is a deterministic
+    function of its own call sequence — under fork *and* spawn.  The
+    ``fleet.worker`` fault site fires here, inside the child, which is
+    what lets a ``crash`` rule kill -9 a real worker without ever
+    threatening the parent (serial execution never fires it).
     """
-    index, scenario = item
-    result = _execute_captured(
-        scenario, _WORKER_MODELS[scenario.model_key], _WORKER_ENGINE
-    )
-    payload = _obs.snapshot() if _obs.ENABLED else None
-    return index, result, payload
+    _init_worker(models, engine, obs_on)
+    if plan is not None:
+        _inject.install(plan)
+    else:
+        _inject.uninstall()
+    while True:
+        item = inq.get()
+        if item is None:
+            conn.close()
+            return
+        index, scenario = item
+        try:
+            if _inject.ENABLED:
+                _inject.fire("fleet.worker", scenario=scenario.name)
+        except Exception as exc:
+            result = _failure_result(scenario, exc)
+        else:
+            result = _execute_captured(
+                scenario, _WORKER_MODELS[scenario.model_key], _WORKER_ENGINE
+            )
+        payload = _obs.snapshot() if _obs.ENABLED else None
+        conn.send((uid, index, result, payload))
+
+
+class _WorkerHandle:
+    """Parent-side view of one worker: process, task pipe, reply pipe."""
+
+    __slots__ = ("uid", "proc", "inq", "conn", "current")
+
+    def __init__(self, uid, proc, inq, conn) -> None:
+        self.uid = uid
+        self.proc = proc
+        self.inq = inq
+        #: Parent-side read end of the worker's private reply pipe.
+        self.conn = conn
+        #: The one (index, scenario) dispatched and not yet answered.
+        self.current: Optional[Tuple[int, Scenario]] = None
 
 
 class FleetRunner:
@@ -200,6 +287,7 @@ class FleetRunner:
         parallel: bool = True,
         cache: Optional[ModelCache] = None,
         engine: str = "reference",
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         from repro.sim.fastsim import ENGINES
 
@@ -218,12 +306,33 @@ class FleetRunner:
         self.parallel = parallel
         self.engine = engine
         self.cache = cache if cache is not None else ModelCache()
+        #: Governs worker-lost re-dispatch, respawn backoff, and model
+        #: build retries (see module docstring).
+        self.retry = retry if retry is not None else RetryPolicy()
 
     def prepare_models(
         self, scenarios: Sequence[Scenario]
     ) -> Dict[Tuple, QuantizedModel]:
-        """Resolve every distinct model once through the shared cache."""
-        return {s.model_key: self.cache.get(s) for s in scenarios}
+        """Resolve every scenario's model through the shared cache.
+
+        Duplicate model keys are cache hits, so N scenarios still pay
+        for U <= N distinct builds.  Each resolution runs under the
+        runner's :class:`RetryPolicy` (builds read dataset files, so a
+        transient ``OSError`` is recoverable weather) and passes the
+        ``fleet.model_build`` fault site.
+        """
+        models: Dict[Tuple, QuantizedModel] = {}
+        for s in scenarios:
+            def build(scenario: Scenario = s) -> QuantizedModel:
+                if _inject.ENABLED:
+                    _inject.fire("fleet.model_build", scenario=scenario.name)
+                return self.cache.get(scenario)
+
+            models[s.model_key] = call_with_retry(
+                build, policy=self.retry, retry_on=(OSError,),
+                site="fleet.model_build",
+            )
+        return models
 
     def run(
         self,
@@ -284,9 +393,12 @@ class FleetRunner:
             fresh[index] = result
             if result.error:
                 if on_error == "raise":
-                    raise ScenarioExecutionError(
-                        result.scenario.name, result.error
+                    cls = (
+                        WorkerLostError
+                        if result.error_kind == "worker_lost"
+                        else ScenarioExecutionError
                     )
+                    raise cls(result.scenario.name, result.error)
                 return
             if store is not None:
                 with _spans.span("fleet.commit",
@@ -334,37 +446,209 @@ class FleetRunner:
         models: Dict[Tuple, QuantizedModel],
         commit: Callable[[int, ScenarioResult], None],
     ) -> None:
+        """The supervised pool (see module docstring).
+
+        The parent dispatches one scenario per worker at a time — so it
+        always knows exactly which scenario a dead worker was holding —
+        and multiplexes the per-worker reply pipes with a short-timeout
+        :func:`multiprocessing.connection.wait`; a worker's death shows
+        up as EOF on its pipe (the parent closes its copy of the write
+        end right after the fork, so the worker holds the only one).
+        Per-scenario dispatch doubles as load balancing (scenarios vary
+        widely in cost: DNF-heavy cells finish early, stall-heavy cells
+        drag), and commit() runs — and the store grows — a scenario at
+        a time, not after the whole map.
+        """
         ctx = multiprocessing.get_context()
         procs = min(self.workers, len(items))
+        retry = self.retry
+        plan = _inject.active_plan()
         if _obs.ENABLED:
             _obs.gauge("fleet.workers", procs)
-        # Latest cumulative snapshot per worker pid; absorbed into the
-        # parent registry only after a clean map (an aborted fleet does
+        pending: Deque[Tuple[int, Scenario]] = deque(items)
+        attempts: Dict[int, int] = {}  # index -> worker-lost count
+        done: set = set()
+        # Latest cumulative snapshot per worker uid; absorbed into the
+        # parent registry only after a clean run (an aborted fleet does
         # not half-count worker metrics).
         worker_snaps: Dict[int, dict] = {}
-        with ctx.Pool(
-            procs, initializer=_init_worker,
-            initargs=(models, self.engine, _obs.ENABLED),
-        ) as pool:
-            # chunksize=1: scenarios vary widely in cost (DNF-heavy cells
-            # finish early, stall-heavy cells drag), so fine-grained
-            # dispatch balances the load.  imap_unordered streams results
-            # back as they finish — commit() runs (and the store grows) a
-            # scenario at a time, not after the whole map.  A commit that
-            # raises (on_error="raise") terminates the pool on exit from
-            # this block; already-committed results stay durable.
+        respawns = 0
+        respawn_budget = max(4, 2 * procs)
+        degraded = False
+        next_uid = 0
+        by_uid: Dict[int, _WorkerHandle] = {}
+
+        def spawn() -> _WorkerHandle:
+            nonlocal next_uid
+            uid = next_uid
+            next_uid += 1
+            inq = ctx.SimpleQueue()
+            recv_end, send_end = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_supervised_worker,
+                args=(uid, inq, send_end, models, self.engine,
+                      _obs.ENABLED, plan),
+                name=f"fleet-worker-{uid}",
+                daemon=True,
+            )
+            proc.start()
+            # The worker must hold the only write end: that is what
+            # turns its death — clean or kill -9 — into EOF here.
+            send_end.close()
+            handle = _WorkerHandle(uid, proc, inq, recv_end)
+            by_uid[uid] = handle
+            return handle
+
+        def handle_msg(msg) -> None:
+            uid, index, result, payload = msg
+            w = by_uid.get(uid)
+            if w is not None and w.current is not None \
+                    and w.current[0] == index:
+                w.current = None
+            if payload is not None:
+                prev = worker_snaps.get(uid)
+                if prev is None or payload["seq"] >= prev["seq"]:
+                    worker_snaps[uid] = payload
+            if index in done:
+                # A duplicate from the lost-then-drained race: the
+                # retried execution was bit-identical, drop it.
+                return
+            done.add(index)
+            if attempts.get(index) and not result.error and _obs.ENABLED:
+                _obs.count("faults.recovered")
+                _obs.count("faults.recovered.fleet.worker")
+            commit(index, result)
+
+        workers = [spawn() for _ in range(procs)]
+        clean = False
+        try:
             with _spans.span("fleet.dispatch", scenarios=len(items),
                              workers=procs):
-                for index, result, payload in pool.imap_unordered(
-                    _run_in_worker, items, chunksize=1
-                ):
-                    if payload is not None:
-                        prev = worker_snaps.get(payload["pid"])
-                        if prev is None or payload["seq"] >= prev["seq"]:
-                            worker_snaps[payload["pid"]] = payload
+                while len(done) < len(items):
+                    for w in workers:
+                        if w.current is None and pending:
+                            w.current = pending.popleft()
+                            w.inq.put(w.current)
+                    ready = multiprocessing.connection.wait(
+                        [w.conn for w in workers], timeout=_POLL_S
+                    )
+                    dead = []
+                    for i, w in enumerate(workers):
+                        alive = w.proc.is_alive()
+                        if w.conn not in ready and alive:
+                            continue
+                        # Replies can sit in the pipe ahead of EOF;
+                        # drain before declaring any scenario lost.
+                        try:
+                            while w.conn.poll():
+                                handle_msg(w.conn.recv())
+                        except (EOFError, OSError):
+                            alive = False
+                        if not alive:
+                            dead.append(i)
+                    if not dead:
+                        continue
+                    for i in dead:
+                        w = workers[i]
+                        w.proc.join()
+                        w.conn.close()
+                        lost = w.current
+                        w.current = None
+                        if lost is None or lost[0] in done:
+                            continue
+                        index, scenario = lost
+                        attempts[index] = n = attempts.get(index, 0) + 1
+                        if _obs.ENABLED:
+                            _obs.count("fleet.worker_lost")
+                        if n >= retry.max_attempts:
+                            done.add(index)
+                            commit(index, _failure_result(
+                                scenario,
+                                WorkerLostError(
+                                    scenario.name,
+                                    f"worker process died "
+                                    f"(attempt {n}/{retry.max_attempts})",
+                                ),
+                                kind="worker_lost",
+                            ))
+                        else:
+                            pending.appendleft(lost)
+                    respawns += len(dead)
+                    if respawns > respawn_budget:
+                        degraded = True
+                        break
+                    if _obs.ENABLED:
+                        _obs.count("fleet.respawns", len(dead))
+                    time.sleep(min(retry.backoff_s(respawns),
+                                   _RESPAWN_SLEEP_CAP_S))
+                    for i in dead:
+                        by_uid.pop(workers[i].uid, None)
+                        workers[i] = spawn()
+            if degraded:
+                # The pool keeps collapsing (e.g. a probability-1.0
+                # crash plan, or a host OOM-killing every child): stop
+                # burning respawns and finish in the parent.  Serial
+                # execution never fires the fleet.worker site, so even
+                # an always-crash plan completes here.
+                self._teardown(workers, graceful=False)
+                workers = []
+                if _obs.ENABLED:
+                    _obs.count("fleet.degraded_serial")
+                remaining = [it for it in items if it[0] not in done]
+                warnings.warn(
+                    f"fleet worker pool collapsed {respawns} times "
+                    f"(budget {respawn_budget}); finishing "
+                    f"{len(remaining)} scenario(s) serially",
+                    RuntimeWarning,
+                )
+                for index, scenario in remaining:
+                    with self.cache.execution_lock(scenario.model_key):
+                        result = _execute_captured(
+                            scenario, models[scenario.model_key],
+                            self.engine,
+                        )
+                    done.add(index)
                     commit(index, result)
+            clean = True
+        finally:
+            self._teardown(workers, graceful=clean)
         if worker_snaps and _obs.ENABLED:
             _obs.absorb(merge_all(list(worker_snaps.values())))
+
+    @staticmethod
+    def _teardown(workers: List[_WorkerHandle], *, graceful: bool) -> None:
+        """Stop the pool; never hang (the shutdown watchdog).
+
+        Graceful exit sends each worker a sentinel and joins with a
+        timeout; anything still alive after that — or everything, on
+        the error path — is escalated to ``terminate()`` then
+        ``kill()``, each with its own join budget, so a wedged worker
+        can never hang the parent (or CI).
+        """
+        if not workers:
+            return
+        if graceful:
+            for w in workers:
+                try:
+                    w.inq.put(None)
+                except Exception:  # dead worker's pipe; nothing to stop
+                    pass
+            deadline = time.monotonic() + _JOIN_S
+            for w in workers:
+                w.proc.join(max(0.0, deadline - time.monotonic()))
+        if any(w.proc.is_alive() for w in workers):
+            for w in workers:
+                if w.proc.is_alive():
+                    w.proc.terminate()
+            deadline = time.monotonic() + _JOIN_S
+            for w in workers:
+                w.proc.join(max(0.0, deadline - time.monotonic()))
+            for w in workers:
+                if w.proc.is_alive():  # pragma: no cover - last resort
+                    w.proc.kill()
+                    w.proc.join(1.0)
+        for w in workers:
+            w.conn.close()
 
 
 def run_fleet(
@@ -375,8 +659,9 @@ def run_fleet(
     engine: str = "reference",
     store=None,
     on_error: str = "raise",
+    retry: Optional[RetryPolicy] = None,
 ) -> FleetReport:
     """One-call convenience wrapper around :class:`FleetRunner`."""
-    return FleetRunner(workers, parallel=parallel, engine=engine).run(
-        scenarios, store=store, on_error=on_error
-    )
+    return FleetRunner(
+        workers, parallel=parallel, engine=engine, retry=retry
+    ).run(scenarios, store=store, on_error=on_error)

@@ -28,6 +28,7 @@ from repro.errors import (
     ReproError,
     ServiceClosedError,
 )
+from repro.faults.retry import RetryPolicy
 from repro.study.table import ResultTable
 
 #: error "type" field -> exception class raised client-side.
@@ -37,13 +38,37 @@ _ERROR_TYPES = {
     "JobFailedError": JobFailedError,
 }
 
+#: Transient server-side statuses worth retrying on idempotent requests.
+_RETRYABLE_STATUS = (502, 503, 504)
+
+
+def _refused(exc: urllib.error.URLError) -> bool:
+    return isinstance(getattr(exc, "reason", None), ConnectionRefusedError)
+
 
 class ServeClient:
-    """A client bound to one service base URL (``http://host:port``)."""
+    """A client bound to one service base URL (``http://host:port``).
 
-    def __init__(self, base_url: str, *, timeout_s: float = 30.0) -> None:
+    Two recovery behaviors, both bounded and deterministic:
+
+    * **Startup race** — connection-refused is retried for up to
+      ``connect_wait_s`` on *any* method (nothing reached the server,
+      so resending is always safe).  ``repro submit`` racing a
+      just-launched ``repro serve --port 0`` wins cleanly.
+    * **Idempotent GETs** — 502/503/504 responses and connection drops
+      retry under ``retry`` with backoff; non-idempotent requests never
+      retry past the connect phase.  The final failure propagates
+      exactly as it would without retries.
+    """
+
+    def __init__(
+        self, base_url: str, *, timeout_s: float = 30.0,
+        retry: Optional[RetryPolicy] = None, connect_wait_s: float = 2.0,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.connect_wait_s = connect_wait_s
 
     # -- transport ------------------------------------------------------------
 
@@ -56,16 +81,36 @@ class ServeClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        req = urllib.request.Request(
-            self.base_url + path, data=data, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(
-                req, timeout=timeout_s or self.timeout_s
-            ) as resp:
-                return resp.read()
-        except urllib.error.HTTPError as exc:
-            raise self._to_error(exc)
+        idempotent = method == "GET"
+        connect_deadline = time.monotonic() + self.connect_wait_s
+        attempt = 0
+        while True:
+            req = urllib.request.Request(
+                self.base_url + path, data=data, headers=headers,
+                method=method,
+            )
+            try:
+                with urllib.request.urlopen(
+                    req, timeout=timeout_s or self.timeout_s
+                ) as resp:
+                    return resp.read()
+            except urllib.error.HTTPError as exc:
+                if (idempotent and exc.code in _RETRYABLE_STATUS
+                        and attempt + 1 < self.retry.max_attempts):
+                    exc.read()
+                    attempt += 1
+                    self.retry.sleep(attempt)
+                    continue
+                raise self._to_error(exc)
+            except urllib.error.URLError as exc:
+                if _refused(exc) and time.monotonic() < connect_deadline:
+                    time.sleep(0.05)
+                    continue
+                if idempotent and attempt + 1 < self.retry.max_attempts:
+                    attempt += 1
+                    self.retry.sleep(attempt)
+                    continue
+                raise
 
     @staticmethod
     def _to_error(exc: urllib.error.HTTPError) -> ReproError:

@@ -15,7 +15,8 @@ GET     /jobs/<id>/result       the finished table as lossless
                                 :meth:`ResultTable.to_json` (``409`` if
                                 not finished; ``?timeout=S`` waits)
 DELETE  /jobs/<id>              cancel (``409`` if already running)
-GET     /healthz                liveness + exact queue counters
+GET     /healthz                liveness, queue depth, workers alive,
+                                retry + exact queue counters
 GET     /metrics                :mod:`repro.obs` snapshot JSON
 ======  ======================  ==========================================
 
@@ -35,6 +36,7 @@ from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ConfigurationError, ReproError, ServiceClosedError
+from repro.faults import inject as _inject
 from repro.serve.queue import CANCELLED, DONE, FAILED, JobSpec
 from repro.serve.service import StudyService
 
@@ -125,11 +127,19 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         parsed = urlparse(self.path)
+        if _inject.ENABLED:
+            # The serve.http fault site: GET-only (idempotent), so the
+            # client's bounded retry-with-backoff is always safe.
+            try:
+                _inject.fire("serve.http", path=None, route=parsed.path)
+            except _inject.FaultInjected as exc:
+                self._send_json(
+                    503, {"error": str(exc), "type": "TransientError"}
+                )
+                return
         parts = [p for p in parsed.path.split("/") if p]
         if parsed.path == "/healthz":
-            self._send_json(
-                200, {"ok": True, "counters": self.service.counters()}
-            )
+            self._send_json(200, self.service.health())
         elif parsed.path == "/metrics":
             self._send_json(200, self.service.metrics())
         elif parsed.path == "/jobs":

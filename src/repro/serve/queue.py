@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, ServiceClosedError
+from repro.faults.retry import RetryPolicy, is_transient
 from repro.obs import metrics as _obs
 from repro.study.core import Profile, check_study_options
 
@@ -173,6 +174,9 @@ class Job:
         self.created_s = time.time()
         self.started_s: Optional[float] = None
         self.finished_s: Optional[float] = None
+        #: Failed execution attempts re-queued by the retry policy
+        #: (primary jobs only; attached jobs ride their primary's).
+        self.attempts = 0
         #: Jobs coalesced onto this one (primary jobs only).
         self.attached: List["Job"] = []
         self._done = threading.Event()
@@ -197,6 +201,7 @@ class Job:
             "dedup": bool(self.from_cache or self.coalesced_into),
             "from_cache": self.from_cache,
             "coalesced_into": self.coalesced_into,
+            "attempts": self.attempts,
             "created_s": self.created_s,
             "started_s": self.started_s,
             "finished_s": self.finished_s,
@@ -221,12 +226,17 @@ class JobQueue:
         workers: int = 2,
         lookup: Optional[Callable[[str], object]] = None,
         publish: Optional[Callable[[str, object], None]] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
         self._executor = executor
         self._lookup = lookup
         self._publish = publish
+        # Per-job bounded retry on transient failures (worker-lost,
+        # timeout, injected faults — see repro.faults.retry.is_transient).
+        # None disables retries entirely.
+        self._retry = retry
         # Plain (not fork-safe) lock: fleet pool children never touch
         # the queue, so fork inheritance is moot here.
         self._lock = threading.Lock()
@@ -243,6 +253,7 @@ class JobQueue:
         self.cancelled = 0
         self.dedup_hits = 0
         self.executions = 0
+        self.retried = 0
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"serve-worker-{i}", daemon=True
@@ -318,9 +329,18 @@ class JobQueue:
                 "cancelled": self.cancelled,
                 "dedup_hits": self.dedup_hits,
                 "executions": self.executions,
+                "retried": self.retried,
                 "queued": len(self._queue),
                 "inflight": len(self._inflight),
             }
+
+    def workers_alive(self) -> int:
+        """Worker threads currently alive (all of them, in health)."""
+        return sum(1 for t in self._threads if t.is_alive())
+
+    @property
+    def worker_count(self) -> int:
+        return len(self._threads)
 
     # -- cancellation / shutdown ---------------------------------------------
 
@@ -415,22 +435,31 @@ class JobQueue:
                 for j in live:
                     j.state = RUNNING
                     j.started_s = time.time()
-                self.executions += 1
-                if _obs.ENABLED:
-                    _obs.count("serve.executions")
-                    _obs.observe_ns(
-                        "serve.queue_wait",
-                        int((job.started_s - job.created_s) * 1e9),
-                    )
+                if job.attempts == 0:
+                    # Retried attempts are not new executions: the
+                    # counting contract (dedup_hits == submissions -
+                    # distinct executions) counts specs, not tries.
+                    self.executions += 1
+                    if _obs.ENABLED:
+                        _obs.count("serve.executions")
+                        _obs.observe_ns(
+                            "serve.queue_wait",
+                            int((job.started_s - job.created_s) * 1e9),
+                        )
             table = None
             error: Optional[str] = None
+            exc_obj: Optional[BaseException] = None
             from_cache = False
             cacheable = False
             try:
                 with _obs_span("serve.execute", job):
                     table, from_cache, cacheable = self._executor(job)
-            except Exception:
+            except Exception as exc:
                 error = traceback.format_exc()
+                exc_obj = exc
+            if exc_obj is not None and self._retryable(job, exc_obj):
+                self._requeue(job)
+                continue
             with self._cond:
                 # publish-before-detach: a duplicate submitted in this
                 # window must find either the in-flight entry or the
@@ -451,6 +480,37 @@ class JobQueue:
                         self._finish(j, FAILED)
                 self._inflight.pop(job.key, None)
                 self._cond.notify_all()
+
+    def _retryable(self, job: Job, exc: BaseException) -> bool:
+        return (
+            self._retry is not None
+            and is_transient(exc)
+            and job.attempts + 1 < self._retry.max_attempts
+        )
+
+    def _requeue(self, job: Job) -> None:
+        """Send a transiently failed job around again (worker thread).
+
+        The job (and every attached duplicate) goes back to ``queued``
+        but *stays in the in-flight table* through the backoff, so
+        submissions racing in keep coalescing onto the retrying
+        execution — the dedup key never changes and duplicate jobs ride
+        the retry to whatever outcome it reaches.
+        """
+        with self._cond:
+            job.attempts += 1
+            self.retried += 1
+            if _obs.ENABLED:
+                _obs.count("serve.jobs_retried")
+            for j in (job, *job.attached):
+                if j.state == RUNNING:
+                    j.state = QUEUED
+        # Backoff outside the lock (deterministic, bounded); then hand
+        # the job back to the deque for any worker — including this one.
+        self._retry.sleep(job.attempts)
+        with self._cond:
+            self._queue.append(job)
+            self._cond.notify()
 
 
 def _obs_span(name: str, job: Job):

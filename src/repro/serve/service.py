@@ -35,6 +35,8 @@ from collections import OrderedDict
 from typing import List, Optional, Tuple
 
 from repro.errors import ConfigurationError, JobFailedError
+from repro.faults import inject as _inject
+from repro.faults.retry import RetryPolicy
 from repro.fleet.cache import ModelCache
 from repro.obs import metrics as _obs
 from repro.serve.queue import DONE, FAILED, Job, JobQueue, JobSpec
@@ -57,12 +59,17 @@ class StudyService:
         workers: int = 2,
         store=None,
         table_cache: int = 64,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if table_cache < 0:
             raise ConfigurationError("table_cache must be >= 0")
         self.store = store
         self.model_cache = ModelCache()
         self._table_cache_size = table_cache
+        #: Per-job bounded retry on transient failures (worker-lost,
+        #: timeout, injected faults).  Other exceptions — bad studies,
+        #: real bugs — still fail the job on the first attempt.
+        self.retry = retry if retry is not None else RetryPolicy()
         #: key -> finished ResultTable; touched only under the queue
         #: lock (the lookup/publish callbacks run with it held).
         self._tables: "OrderedDict[str, ResultTable]" = OrderedDict()
@@ -71,6 +78,7 @@ class StudyService:
             workers=workers,
             lookup=self._cache_lookup,
             publish=self._cache_publish,
+            retry=self.retry,
         )
 
     # -- public API -----------------------------------------------------------
@@ -116,6 +124,22 @@ class StudyService:
     def counters(self) -> dict:
         return self.queue.counters()
 
+    def health(self) -> dict:
+        """The ``/healthz`` payload: liveness, depth, workers, retries."""
+        counters = self.queue.counters()
+        return {
+            "ok": True,
+            "counters": counters,
+            "queue_depth": counters["queued"],
+            "inflight": counters["inflight"],
+            "workers": self.queue.worker_count,
+            "workers_alive": self.queue.workers_alive(),
+            "retry": {
+                "max_attempts": self.retry.max_attempts,
+                "retried": counters["retried"],
+            },
+        }
+
     def metrics(self) -> dict:
         """A :mod:`repro.obs` snapshot (schema-valid even when off)."""
         return _obs.snapshot()
@@ -155,6 +179,12 @@ class StudyService:
     def _run_study(self, job: Job) -> Tuple[ResultTable, bool, bool]:
         from repro.study.core import run_study
 
+        if _inject.ENABLED:
+            # The serve.execute fault site: an exception kind here makes
+            # the attempt fail transiently (and get retried); a crash
+            # kind kills this worker's whole process — the chaos tests
+            # run that variant in a subprocess.
+            _inject.fire("serve.execute", job=job.id, study=job.spec.study)
         spec = job.spec
         kwargs = dict(
             engine=spec.engine,

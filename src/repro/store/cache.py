@@ -107,13 +107,14 @@ class ResultStore:
     ``repro run --out`` reporting are built on.
     """
 
-    def __init__(self, root, *, shard_rows: int = 256) -> None:
+    def __init__(self, root, *, shard_rows: int = 256, retry=None) -> None:
         self.root = Path(root)
         self._shards = ShardStore(
             self.root,
             RESULT_COLUMNS,
             meta={"kind": "scenario-results"},
             shard_rows=shard_rows,
+            retry=retry,
         )
         self._index: Dict[str, str] = {}
         for row in self._shards.iter_rows():

@@ -93,6 +93,7 @@ def encode_result(result: ScenarioResult) -> str:
         "labels": list(result.labels),
         "overflow_events": result.overflow_events,
         "error": result.error,
+        "error_kind": result.error_kind,
     })
 
 
@@ -121,4 +122,7 @@ def decode_result(scenario: Scenario, payload: str) -> ScenarioResult:
         labels=tuple(int(y) for y in data["labels"]),
         overflow_events=int(data["overflow_events"]),
         error=str(data.get("error", "")),
+        # .get: failed results are never stored, so payloads predating
+        # the field decode to the empty kind they'd have carried anyway.
+        error_kind=str(data.get("error_kind", "")),
     )

@@ -47,6 +47,8 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.concurrency import ForkSafeLock
 from repro.errors import ConfigurationError
+from repro.faults import inject as _inject
+from repro.faults.retry import RetryPolicy, call_with_retry
 from repro.obs import metrics as _obs
 from repro.obs import spans as _spans
 from repro.study.table import ColumnLike, ResultTable
@@ -92,11 +94,16 @@ class ShardStore:
         *,
         meta: Optional[Dict[str, str]] = None,
         shard_rows: int = 256,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if shard_rows < 1:
             raise ConfigurationError("shard_rows must be >= 1")
         self.root = Path(root)
         self.shard_rows = shard_rows
+        #: Transient ``OSError``\ s during flush and reopen reads are
+        #: retried under this policy (ENOSPC, EIO, a flaky network FS);
+        #: the final attempt's failure propagates unchanged.
+        self.retry = retry if retry is not None else RetryPolicy()
         # One reentrant lock over the pending buffer and shard index:
         # append() nests into flush() at the auto-commit threshold, and
         # concurrent service jobs append through one store.  Cross-
@@ -126,18 +133,22 @@ class ShardStore:
     def _new_table(self) -> ResultTable:
         return ResultTable(self._schema)
 
-    def _write_manifest(self) -> None:
+    def _write_manifest(self, shards: Optional[List[Dict]] = None) -> None:
         payload = {
             "format": MANIFEST_FORMAT,
             "schema": [[c.name, c.dtype] for c in self._schema],
             "meta": dict(self.meta),
-            "shards": list(self._shards),
+            "shards": list(self._shards if shards is None else shards),
         }
         _atomic_write_text(self._manifest_path, json.dumps(payload, indent=2))
 
     def _open_existing(self, columns: Optional[Sequence[ColumnLike]]) -> None:
         try:
-            payload = json.loads(self._manifest_path.read_text())
+            text = call_with_retry(
+                self._manifest_path.read_text, policy=self.retry,
+                retry_on=(OSError,), site="store.reopen",
+            )
+            payload = json.loads(text)
         except ValueError as exc:
             raise ConfigurationError(
                 f"corrupt store manifest {self._manifest_path}: {exc}"
@@ -164,7 +175,10 @@ class ShardStore:
         kept: List[Dict] = []
         for i, entry in enumerate(entries):
             path = self._shard_dir / entry["name"]
-            intact = path.is_file() and _digest_file(path) == entry["blake2b"]
+            intact = path.is_file() and call_with_retry(
+                lambda p=path: _digest_file(p), policy=self.retry,
+                retry_on=(OSError,), site="store.reopen",
+            ) == entry["blake2b"]
             if intact:
                 kept.append(entry)
                 continue
@@ -187,9 +201,14 @@ class ShardStore:
 
     def _sweep_tmp_files(self) -> None:
         # Leftover .tmp files are unpublished writes from a killed
-        # process; the data they held was never committed.
+        # process; the data they held was never committed.  That
+        # includes a manifest.json.tmp at the root — a crash between
+        # writing and os.replace'ing the manifest leaves one, and it
+        # must never be trusted over the published manifest.
         self._shard_dir.mkdir(parents=True, exist_ok=True)
         for stray in self._shard_dir.glob("*.tmp"):
+            stray.unlink(missing_ok=True)
+        for stray in self.root.glob("*.tmp"):
             stray.unlink(missing_ok=True)
 
     # -- append / flush -------------------------------------------------------
@@ -231,6 +250,15 @@ class ShardStore:
         the two leaves an orphan file the manifest never references —
         recovery ignores it and the rows are re-simulated, never
         double-counted.
+
+        Transient ``OSError``\\ s (ENOSPC, EIO — or an injected fault at
+        the ``store.flush`` site) retry the *whole* attempt under
+        :attr:`retry`: the shard name is derived from the committed
+        count (unchanged until success) and the manifest entry is only
+        adopted after a fully successful attempt, so a retried flush can
+        never double-publish a shard or double-list it in the manifest.
+        If every attempt fails, the pending rows stay buffered for a
+        later flush and the final error propagates.
         """
         with self._lock:
             if not len(self._pending):
@@ -240,16 +268,24 @@ class ShardStore:
                 name = f"shard-{len(self._shards):06d}.npz"
                 path = self._shard_dir / name
                 tmp = self._shard_dir / (name + ".tmp")
-                with open(tmp, "wb") as fh:
-                    self._pending.to_npz(fh)
-                    fh.flush()
-                    os.fsync(fh.fileno())
-                digest = _digest_file(tmp)
-                os.replace(tmp, path)
-                self._shards.append(
-                    {"name": name, "rows": rows, "blake2b": digest}
-                )
-                self._write_manifest()
+
+                def attempt() -> Dict:
+                    with open(tmp, "wb") as fh:
+                        self._pending.to_npz(fh)
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    if _inject.ENABLED:
+                        _inject.fire("store.flush", path=str(tmp))
+                    digest = _digest_file(tmp)
+                    os.replace(tmp, path)
+                    entry = {"name": name, "rows": rows, "blake2b": digest}
+                    self._write_manifest(self._shards + [entry])
+                    return entry
+
+                self._shards.append(call_with_retry(
+                    attempt, policy=self.retry, retry_on=(OSError,),
+                    site="store.flush",
+                ))
                 self._pending = self._new_table()
             if _obs.ENABLED:
                 _obs.count("store.shard.flushes")

@@ -454,6 +454,14 @@ class TestHTTP:
         health = client.health()
         assert health["ok"] is True
         assert health["counters"]["submitted"] >= 1
+        # The enriched payload: depth, worker liveness, retry posture —
+        # everything an operator needs to tell "idle" from "wedged".
+        assert health["queue_depth"] == health["counters"]["queued"] == 0
+        assert health["inflight"] == 0
+        assert health["workers"] == 2
+        assert health["workers_alive"] == 2
+        assert health["retry"]["max_attempts"] >= 1
+        assert health["retry"]["retried"] == 0
         listed = client.jobs()
         assert any(j["id"] == job["id"] for j in listed)
 
